@@ -1,0 +1,76 @@
+// Ablation: schedule-builder choice as the transfer size grows.
+//
+// For analytic (closed-form) distributions the duplication build is pure
+// local computation while cooperation pays some communication; for
+// translation-table data the trade inverts because duplication must double
+// the dereference work and, across programs, ship the table.  This ablation
+// sweeps the set size for an analytic pair (Parti <-> HPF) and reports both
+// builders.
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "core/adapters/hpf_adapter.h"
+#include "core/adapters/parti_adapter.h"
+#include "core/data_move.h"
+
+using namespace mc;
+using layout::Index;
+using layout::Point;
+using layout::RegularSection;
+using layout::Shape;
+
+int main() {
+  constexpr int kProcs = 8;
+  const std::vector<Index> sides = {64, 128, 256, 512, 1024};
+  std::vector<double> coop, dup;
+
+  for (Index side : sides) {
+    double tCoop = 0, tDup = 0;
+    transport::World::runSPMD(kProcs, [&](transport::Comm& c) {
+      parti::BlockDistArray<double> a(c, Shape::of({side, side}), 0);
+      hpfrt::HpfArray<double> b(
+          c, hpfrt::HpfDist(Shape::of({side, side}),
+                            {hpfrt::DimDist{hpfrt::DistKind::kCyclic,
+                                            c.size(), 1},
+                             hpfrt::DimDist{hpfrt::DistKind::kBlock, 1, 1}}));
+      core::SetOfRegions set;
+      set.add(core::Region::section(
+          RegularSection::box({0, 0}, {side - 1, side - 1})));
+      bench::PhaseTimer timer(c);
+      (void)core::computeSchedule(c, core::PartiAdapter::describe(a), set,
+                                  core::HpfAdapter::describe(b), set,
+                                  core::Method::kCooperation);
+      const double t1 = timer.lap();
+      (void)core::computeSchedule(c, core::PartiAdapter::describe(a), set,
+                                  core::HpfAdapter::describe(b), set,
+                                  core::Method::kDuplication);
+      const double t2 = timer.lap();
+      if (c.rank() == 0) {
+        tCoop = t1;
+        tDup = t2;
+      }
+    });
+    coop.push_back(tCoop);
+    dup.push_back(tDup);
+  }
+  std::vector<std::string> cols;
+  for (Index side : sides) {
+    cols.push_back(std::to_string(side) + "^2");
+  }
+  std::printf("%s\n",
+              bench::renderTable(
+                  "Ablation: builder choice, Parti -> HPF(CYCLIC) full-array "
+                  "schedule on 8 processors [ms]",
+                  cols,
+                  {
+                      bench::Row{"cooperation", coop, {}},
+                      bench::Row{"duplication", dup, {}},
+                  })
+                  .c_str());
+  std::printf("expected: cooperation splits the O(n) enumeration across\n"
+              "processors (then ships compact run plans); duplication\n"
+              "enumerates everything on every processor, so it loses ground\n"
+              "as the set grows — unless the descriptor is a translation\n"
+              "table, where the trade inverts (see ablation_ttable).\n");
+  return 0;
+}

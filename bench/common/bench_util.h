@@ -1,0 +1,78 @@
+// Shared machinery for the paper-reproduction benchmarks.
+//
+// Every table/figure binary prints (a) the measured virtual-time numbers in
+// the paper's row/column layout and (b) the paper's published values
+// alongside, so shape comparisons are one glance away.  Absolute magnitudes
+// are NOT comparable (1997 IBM SP2 / Alpha farm vs a modeled transport —
+// see DESIGN.md §2-3); ratios, trends and crossovers are the reproduction
+// target.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "transport/world.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace mc::bench {
+
+/// Phase timing against the virtual clock: lap() barriers the program (so
+/// clocks synchronize to the slowest processor) and returns the elapsed
+/// virtual time since the previous lap.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(transport::Comm& comm) : comm_(&comm) {
+    comm_->barrier();
+    last_ = comm_->now();
+  }
+  double lap() {
+    comm_->barrier();
+    const double now = comm_->now();
+    const double delta = now - last_;
+    last_ = now;
+    return delta;
+  }
+
+ private:
+  transport::Comm* comm_;
+  double last_ = 0;
+};
+
+inline std::string fmtMs(double seconds) {
+  const double ms = seconds * 1e3;
+  if (ms >= 100) return strprintf("%.0f", ms);
+  if (ms >= 1) return strprintf("%.1f", ms);
+  return strprintf("%.3f", ms);
+}
+
+/// One row of a paper-style table: a label, measured values (ms), and the
+/// paper's published values for the same cells.
+struct Row {
+  std::string label;
+  std::vector<double> measuredSeconds;
+  std::vector<double> paperMs;  // empty if the paper has no such row
+};
+
+/// Renders measured and paper rows interleaved.
+inline std::string renderTable(const std::string& title,
+                               const std::vector<std::string>& columns,
+                               const std::vector<Row>& rows) {
+  AsciiTable t;
+  std::vector<std::string> header{"row"};
+  header.insert(header.end(), columns.begin(), columns.end());
+  t.header(std::move(header));
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{row.label};
+    for (double s : row.measuredSeconds) cells.push_back(fmtMs(s));
+    t.row(std::move(cells));
+    if (!row.paperMs.empty()) {
+      std::vector<std::string> paper{"  (paper)"};
+      for (double ms : row.paperMs) paper.push_back(strprintf("%.0f", ms));
+      t.row(std::move(paper));
+    }
+  }
+  return "== " + title + " ==\n" + t.render();
+}
+
+}  // namespace mc::bench

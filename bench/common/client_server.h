@@ -1,0 +1,46 @@
+// Shared driver for Figures 10-15: the Section 5.4 client/server
+// matrix-vector experiments (512x512 double matrix, ATM-class
+// inter-program links, 4 server nodes with cyclic process placement, link
+// contention modeled).
+#pragma once
+
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "workloads/matvec_session.h"
+
+namespace mc::bench {
+
+/// Runs sessions for every server process count and prints the component
+/// breakdown table the paper plots as a stacked bar figure.
+inline void printClientServerFigure(const std::string& title, int clientProcs,
+                                    const std::vector<int>& serverProcs,
+                                    int numVectors) {
+  std::vector<double> sched, matrix, server, vectors, total;
+  for (int sp : serverProcs) {
+    workloads::MatvecSessionConfig cfg;
+    cfg.clientProcs = clientProcs;
+    cfg.serverProcs = sp;
+    cfg.numVectors = numVectors;
+    const workloads::MatvecBreakdown b = workloads::runMatvecSession(cfg);
+    sched.push_back(b.scheduleBuild);
+    matrix.push_back(b.sendMatrix);
+    server.push_back(b.serverCompute);
+    vectors.push_back(b.vectorExchange);
+    total.push_back(b.total());
+  }
+  std::vector<std::string> cols;
+  for (int sp : serverProcs) cols.push_back("S=" + std::to_string(sp));
+  std::printf("%s\n",
+              renderTable(title, cols,
+                          {
+                              Row{"compute schedule", sched, {}},
+                              Row{"send matrix", matrix, {}},
+                              Row{"HPF program", server, {}},
+                              Row{"send/recv vector", vectors, {}},
+                              Row{"total", total, {}},
+                          })
+                  .c_str());
+}
+
+}  // namespace mc::bench

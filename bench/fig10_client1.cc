@@ -1,0 +1,16 @@
+// Figure 10 of the paper: total time, broken down by component, for a
+// *sequential* client using the HPF matvec server (one vector), as the
+// server grows from 1 to 16 processes on 4 nodes.
+//
+// Expected shape (paper): the HPF compute time falls up to ~8 processes and
+// stops improving; schedule time falls to 4 processes then *rises* (ATM
+// contention among processes sharing a node + more, smaller messages);
+// best total around 8 server processes.
+#include "common/client_server.h"
+
+int main() {
+  mc::bench::printClientServerFigure(
+      "Figure 10: sequential client, one vector, server on 4 nodes [ms]",
+      /*clientProcs=*/1, {1, 2, 4, 8, 12, 16}, /*numVectors=*/1);
+  return 0;
+}

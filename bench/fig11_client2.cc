@@ -1,0 +1,11 @@
+// Figure 11 of the paper: same experiment as Figure 10, but the client is
+// a two-process Multiblock Parti program on two nodes.
+#include "common/client_server.h"
+
+int main() {
+  mc::bench::printClientServerFigure(
+      "Figure 11: two-process client (two nodes), one vector, server on 4 "
+      "nodes [ms]",
+      /*clientProcs=*/2, {1, 2, 4, 8, 12, 16}, /*numVectors=*/1);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 12 of the paper: same experiment as Figure 10, but the client is
+// a four-process Multiblock Parti program on four nodes.
+#include "common/client_server.h"
+
+int main() {
+  mc::bench::printClientServerFigure(
+      "Figure 12: four-process client (four nodes), one vector, server on "
+      "4 nodes [ms]",
+      /*clientProcs=*/4, {1, 2, 4, 8, 12, 16}, /*numVectors=*/1);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 13 of the paper: twenty matrix-vector multiplies with one matrix,
+// sequential client, server from 1 to 16 processes.  With the schedule and
+// matrix shipped once, the per-vector costs dominate and the server's
+// speedup shows through (the paper reports a speedup of 4.5 at 8 server
+// processes relative to computing in the client).
+#include <cstdio>
+
+#include "common/client_server.h"
+
+int main() {
+  mc::bench::printClientServerFigure(
+      "Figure 13: sequential client, twenty vectors, server on 4 nodes [ms]",
+      /*clientProcs=*/1, {1, 2, 4, 8, 12, 16}, /*numVectors=*/20);
+
+  // The paper's headline: server-vs-client speedup over the 20 multiplies.
+  mc::workloads::MatvecSessionConfig cfg;
+  cfg.clientProcs = 1;
+  cfg.serverProcs = 8;
+  cfg.numVectors = 20;
+  const auto b = mc::workloads::runMatvecSession(cfg);
+  const double serverSide = (b.serverCompute + b.vectorExchange) / 20.0;
+  std::printf(
+      "per-vector: client-local %.2f ms vs server %.2f ms -> speedup %.1fx "
+      "(paper: 4.5x at 8 server processes)\n",
+      1e3 * b.clientLocalMatvec, 1e3 * serverSide,
+      b.clientLocalMatvec / serverSide);
+  return 0;
+}

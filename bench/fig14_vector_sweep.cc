@@ -1,0 +1,46 @@
+// Figure 14 of the paper: total time as a function of the number of
+// vectors multiplied by one matrix (sequential client, eight-process
+// server — the server's best configuration).  The one-time costs (schedule
+// computation, matrix send) amortize; the incremental cost per vector is
+// the server compute plus the vector roundtrip.
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "workloads/matvec_session.h"
+
+using namespace mc;
+
+int main() {
+  const std::vector<int> vectorCounts = {1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
+  std::vector<double> sched, matrix, server, vectors, total;
+  for (int nv : vectorCounts) {
+    workloads::MatvecSessionConfig cfg;
+    cfg.clientProcs = 1;
+    cfg.serverProcs = 8;
+    cfg.numVectors = nv;
+    const workloads::MatvecBreakdown b = workloads::runMatvecSession(cfg);
+    sched.push_back(b.scheduleBuild);
+    matrix.push_back(b.sendMatrix);
+    server.push_back(b.serverCompute);
+    vectors.push_back(b.vectorExchange);
+    total.push_back(b.total());
+  }
+  std::vector<std::string> cols;
+  for (int nv : vectorCounts) cols.push_back("v=" + std::to_string(nv));
+  std::printf("%s\n",
+              bench::renderTable(
+                  "Figure 14: total time vs number of vectors, sequential "
+                  "client, 8-process server [ms]",
+                  cols,
+                  {
+                      bench::Row{"compute schedule", sched, {}},
+                      bench::Row{"send matrix", matrix, {}},
+                      bench::Row{"HPF program", server, {}},
+                      bench::Row{"send/recv vector", vectors, {}},
+                      bench::Row{"total", total, {}},
+                  })
+                  .c_str());
+  std::printf("expected shape: schedule + matrix rows stay flat while the\n"
+              "HPF and vector rows grow linearly with the vector count.\n");
+  return 0;
+}

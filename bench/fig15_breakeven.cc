@@ -1,0 +1,39 @@
+// Figure 15 of the paper: how many vectors must be multiplied by one
+// matrix before offloading to the HPF server (schedules + matrix shipped
+// once) beats computing the matvec inside the client.
+//
+// Expected shape (paper): small break-even counts (best ~2 with an 8-process
+// server); a two-process client against a two-process server never breaks
+// even (the paper omits that bar entirely).
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "workloads/matvec_session.h"
+
+using namespace mc;
+
+int main() {
+  const std::vector<int> serverProcs = {2, 4, 8, 12, 16};
+  const std::vector<int> clientProcs = {1, 2};
+
+  mc::AsciiTable t;
+  std::vector<std::string> header{"client procs"};
+  for (int sp : serverProcs) header.push_back("S=" + std::to_string(sp));
+  t.header(std::move(header));
+  for (int cp : clientProcs) {
+    std::vector<std::string> cells{std::to_string(cp)};
+    for (int sp : serverProcs) {
+      workloads::MatvecSessionConfig cfg;
+      cfg.clientProcs = cp;
+      cfg.serverProcs = sp;
+      cfg.numVectors = 4;  // amortizes measurement noise per vector
+      const workloads::MatvecBreakdown b = workloads::runMatvecSession(cfg);
+      const int k = workloads::breakEvenVectors(b, cfg.numVectors);
+      cells.push_back(k == 0 ? "never" : std::to_string(k));
+    }
+    t.row(std::move(cells));
+  }
+  std::printf("== Figure 15: break-even number of vectors ==\n%s\n",
+              t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) for linearization enumeration — the
+// per-element inquiry work at the heart of every Meta-Chaos schedule build,
+// measured per region type / library adapter.
+#include <benchmark/benchmark.h>
+
+#include "core/adapters/chaos_adapter.h"
+#include "core/adapters/hpf_adapter.h"
+#include "core/adapters/parti_adapter.h"
+#include "core/adapters/tulip_adapter.h"
+#include "util/rng.h"
+
+namespace {
+
+using mc::layout::Index;
+using mc::layout::RegularSection;
+using mc::layout::Shape;
+using namespace mc::core;
+
+void BM_EnumerateParti(benchmark::State& state) {
+  const Index side = state.range(0);
+  auto desc = std::make_shared<const mc::parti::PartiDesc>(
+      mc::parti::PartiDesc{
+          mc::layout::BlockDecomp::regular(Shape::of({side, side}), 16), 1});
+  const DistObject obj("parti", desc);
+  SetOfRegions set;
+  set.add(Region::section(RegularSection::box({0, 0}, {side - 1, side - 1})));
+  const PartiAdapter adapter;
+  for (auto _ : state) {
+    Index sink = 0;
+    adapter.enumerateAll(obj, set, [&](Index, int owner, Index off) {
+      sink += owner + off;
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_EnumerateParti)->Arg(256)->Arg(512);
+
+void BM_EnumerateHpfCyclic(benchmark::State& state) {
+  const Index side = state.range(0);
+  auto dist = std::make_shared<const mc::hpfrt::HpfDist>(
+      Shape::of({side, side}),
+      std::vector<mc::hpfrt::DimDist>{
+          mc::hpfrt::DimDist{mc::hpfrt::DistKind::kCyclic, 16, 1},
+          mc::hpfrt::DimDist{mc::hpfrt::DistKind::kBlockCyclic, 1, 4}});
+  const DistObject obj("hpf", dist);
+  SetOfRegions set;
+  set.add(Region::section(RegularSection::box({0, 0}, {side - 1, side - 1})));
+  const HpfAdapter adapter;
+  for (auto _ : state) {
+    Index sink = 0;
+    adapter.enumerateAll(obj, set, [&](Index, int owner, Index off) {
+      sink += owner + off;
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_EnumerateHpfCyclic)->Arg(256)->Arg(512);
+
+void BM_EnumerateChaosReplicated(benchmark::State& state) {
+  const Index n = state.range(0);
+  std::vector<mc::chaos::ElementLoc> entries(static_cast<size_t>(n));
+  mc::Rng rng(7);
+  for (Index g = 0; g < n; ++g) {
+    entries[static_cast<size_t>(g)] =
+        mc::chaos::ElementLoc{static_cast<int>(rng.below(16)), g / 16};
+  }
+  auto table = std::make_shared<const mc::chaos::TranslationTable>(
+      mc::chaos::TranslationTable::replicatedFromEntries(std::move(entries),
+                                                         16));
+  const DistObject obj("chaos", table);
+  std::vector<Index> ids(static_cast<size_t>(n));
+  for (Index k = 0; k < n; ++k) ids[static_cast<size_t>(k)] = n - 1 - k;
+  SetOfRegions set;
+  set.add(Region::indices(std::move(ids)));
+  const ChaosAdapter adapter;
+  for (auto _ : state) {
+    Index sink = 0;
+    adapter.enumerateAll(obj, set, [&](Index, int owner, Index off) {
+      sink += owner + off;
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EnumerateChaosReplicated)->Arg(65536);
+
+void BM_EnumerateTulip(benchmark::State& state) {
+  const Index n = state.range(0);
+  auto desc = std::make_shared<const mc::tulip::TulipDesc>(
+      mc::tulip::TulipDesc{n, 16, mc::tulip::Placement::kCyclic});
+  const DistObject obj("pc++", desc);
+  SetOfRegions set;
+  set.add(Region::range(0, n - 1));
+  const TulipAdapter adapter;
+  for (auto _ : state) {
+    Index sink = 0;
+    adapter.enumerateAll(obj, set, [&](Index, int owner, Index off) {
+      sink += owner + off;
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EnumerateTulip)->Arg(65536);
+
+void BM_EnumerateRangeParti(benchmark::State& state) {
+  // Range enumeration must cost O(range), not O(set): enumerate 1/16th.
+  const Index side = 1024;
+  auto desc = std::make_shared<const mc::parti::PartiDesc>(
+      mc::parti::PartiDesc{
+          mc::layout::BlockDecomp::regular(Shape::of({side, side}), 16), 0});
+  const DistObject obj("parti", desc);
+  SetOfRegions set;
+  set.add(Region::section(RegularSection::box({0, 0}, {side - 1, side - 1})));
+  const PartiAdapter adapter;
+  const Index chunk = side * side / 16;
+  for (auto _ : state) {
+    Index sink = 0;
+    adapter.enumerateRange(obj, set, 5 * chunk, 6 * chunk,
+                           [&](Index, int owner, Index off) {
+                             sink += owner + off;
+                           });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * chunk);
+}
+BENCHMARK(BM_EnumerateRangeParti);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Micro-benchmarks (google-benchmark) for the virtual-processor transport:
+// wall-clock throughput of the mailbox/point-to-point machinery and the
+// collectives.  These measure the *host* cost of the substrate itself (not
+// virtual time) — the overhead every simulated experiment rides on.
+#include <benchmark/benchmark.h>
+
+#include "transport/world.h"
+
+namespace {
+
+using mc::transport::Comm;
+using mc::transport::World;
+
+void BM_PingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    World::runSPMD(2, [&](Comm& c) {
+      for (int i = 0; i < rounds; ++i) {
+        if (c.rank() == 0) {
+          c.sendValue(1, 1, i);
+          benchmark::DoNotOptimize(c.recvValue<int>(1, 2));
+        } else {
+          benchmark::DoNotOptimize(c.recvValue<int>(0, 1));
+          c.sendValue(0, 2, i);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_PingPong)->Arg(1000);
+
+void BM_Bandwidth1MiB(benchmark::State& state) {
+  const std::vector<double> payload(1 << 17);  // 1 MiB of doubles
+  for (auto _ : state) {
+    World::runSPMD(2, [&](Comm& c) {
+      for (int i = 0; i < 8; ++i) {
+        if (c.rank() == 0) {
+          c.send(1, 1, payload);
+        } else {
+          benchmark::DoNotOptimize(c.recv<double>(0, 1));
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * 8 * (1 << 20));
+}
+BENCHMARK(BM_Bandwidth1MiB);
+
+void BM_Barrier(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  const int rounds = 200;
+  for (auto _ : state) {
+    World::runSPMD(np, [&](Comm& c) {
+      for (int i = 0; i < rounds; ++i) c.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_Barrier)->Arg(4)->Arg(16);
+
+void BM_Alltoall(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    World::runSPMD(np, [&](Comm& c) {
+      std::vector<std::vector<double>> lanes(
+          static_cast<size_t>(c.size()), std::vector<double>(256, 1.0));
+      for (int i = 0; i < 20; ++i) {
+        benchmark::DoNotOptimize(c.alltoall(lanes));
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_Alltoall)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

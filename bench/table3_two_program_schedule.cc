@@ -1,0 +1,40 @@
+// Table 3 of the paper: Meta-Chaos schedule-computation time for two
+// separate programs — Preg (Multiblock Parti, 256x256 mesh) and Pirreg
+// (Chaos, 65536 points) — over every combination of 2/4/8 processors per
+// program, using the cooperation method.
+//
+// Expected shape (paper): the time depends almost entirely on the number of
+// Pirreg processors (the Chaos dereference work lives there) and drops
+// near-linearly with them, while adding Preg processors changes little.
+#include <cstdio>
+
+#include "common/two_program_mesh.h"
+
+using namespace mc;
+
+int main() {
+  const std::vector<int> procs = {2, 4, 8};
+  const double paper[3][3] = {
+      {1350, 726, 396}, {1377, 738, 403}, {1381, 718, 398}};
+
+  std::vector<std::string> cols;
+  for (int np : procs) cols.push_back("Pirreg=" + std::to_string(np));
+  std::vector<bench::Row> rows;
+  for (size_t r = 0; r < procs.size(); ++r) {
+    std::vector<double> measured;
+    for (int npIrreg : procs) {
+      measured.push_back(
+          bench::runTwoProgramMesh(procs[r], npIrreg).schedule);
+    }
+    rows.push_back(bench::Row{
+        "Preg=" + std::to_string(procs[r]), measured,
+        {paper[r][0], paper[r][1], paper[r][2]}});
+  }
+  std::printf("%s\n",
+              bench::renderTable(
+                  "Table 3: Meta-Chaos schedule computation, two programs, "
+                  "cooperation method [ms]",
+                  cols, rows)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Adaptive repartitioning: the coupled-mesh application of cfd_coupling,
+// but the unstructured mesh starts on a deliberately bad (random)
+// partition and is *remapped* onto an RCB partition mid-run — the adaptive
+// pattern Chaos was built for.  After the remap every schedule touching the
+// irregular mesh (the Chaos localize and the Meta-Chaos copies) is rebuilt;
+// the solution is unaffected while the communication volume drops.
+//
+// Run:  ./adaptive_remap [nprocs] [side]
+#include <cstdio>
+#include <cstdlib>
+
+#include "chaos/irregular_loop.h"
+#include "chaos/partition.h"
+#include "chaos/remap.h"
+#include "core/adapters/chaos_adapter.h"
+#include "core/adapters/parti_adapter.h"
+#include "core/data_move.h"
+#include "meshgen/meshgen.h"
+#include "parti/stencil.h"
+#include "transport/world.h"
+
+using namespace mc;
+using layout::Index;
+using layout::Point;
+using layout::RegularSection;
+using layout::Shape;
+
+namespace {
+
+struct Phase {
+  std::shared_ptr<const chaos::TranslationTable> table;
+  std::unique_ptr<chaos::IrregArray<double>> x;
+  std::unique_ptr<chaos::IrregArray<double>> y;
+  std::unique_ptr<chaos::EdgeSweep<double>> sweep;
+  core::McSchedule regToIrreg;
+  core::McSchedule irregToReg;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const Index side = argc > 2 ? std::atoll(argv[2]) : 48;
+  const Index n = side * side;
+  const std::uint64_t seed = 4242;
+  std::printf("adaptive remap: %lld-point unstructured mesh, %d procs\n",
+              static_cast<long long>(n), nprocs);
+
+  transport::World::runSPMD(nprocs, [&](transport::Comm& comm) {
+    parti::BlockDistArray<double> a(comm, Shape::of({side, side}), 1);
+    a.fillByPoint([&](const Point& p) {
+      return 1.0 + 1e-3 * static_cast<double>(p[0] * side + p[1]);
+    });
+    const parti::Schedule ghosts = parti::buildGhostSchedule(a);
+    const auto perm = meshgen::nodePermutation(n, seed);
+    const auto edges =
+        meshgen::renumberNodes(meshgen::gridEdges(side, side), perm);
+    const auto mapping = meshgen::regToIrregMapping(side, side, perm);
+    const auto myEdges =
+        chaos::blockPartition(edges.numEdges(), comm.size(), comm.rank());
+    std::vector<Index> ia, ib;
+    for (Index e : myEdges) {
+      ia.push_back(edges.ia[static_cast<size_t>(e)]);
+      ib.push_back(edges.ib[static_cast<size_t>(e)]);
+    }
+
+    core::SetOfRegions regSet, irregSet;
+    regSet.add(core::Region::section(
+        RegularSection::box({0, 0}, {side - 1, side - 1})));
+    irregSet.add(core::Region::indices(mapping.irreg));
+
+    // Builds a phase's arrays and every schedule against one partition.
+    auto buildPhase = [&](std::vector<Index> mine,
+                          std::unique_ptr<chaos::IrregArray<double>> carried)
+        -> Phase {
+      Phase ph;
+      ph.table = std::make_shared<const chaos::TranslationTable>(
+          chaos::TranslationTable::build(
+              comm, mine, n, chaos::TranslationTable::Storage::kDistributed));
+      if (carried) {
+        ph.x = std::make_unique<chaos::IrregArray<double>>(
+            chaos::remap(*carried, mine,
+                         chaos::TranslationTable::Storage::kDistributed));
+        ph.table = ph.x->tablePtr();
+      } else {
+        ph.x = std::make_unique<chaos::IrregArray<double>>(comm, ph.table, mine);
+      }
+      ph.y = std::make_unique<chaos::IrregArray<double>>(
+          comm, ph.x->tablePtr(), std::vector<Index>(ph.x->myGlobals().begin(),
+                                                     ph.x->myGlobals().end()));
+      ph.sweep = std::make_unique<chaos::EdgeSweep<double>>(comm, ph.x->table(),
+                                                            ia, ib);
+      ph.regToIrreg = core::computeSchedule(
+          comm, core::PartiAdapter::describe(a), regSet,
+          core::ChaosAdapter::describe(*ph.x), irregSet,
+          core::Method::kCooperation);
+      ph.irregToReg = core::reverseSchedule(ph.regToIrreg);
+      return ph;
+    };
+
+    auto step = [&](Phase& ph, std::vector<double>& scratch) {
+      parti::stencilSweep(a, ghosts, scratch);
+      core::dataMove<double>(comm, ph.regToIrreg, a.raw(), ph.x->raw());
+      ph.sweep->run(*ph.x, *ph.y);
+      core::dataMove<double>(comm, ph.irregToReg, ph.x->raw(), a.raw());
+    };
+
+    std::vector<double> scratch;
+    // Phase 1: a random partition — bad locality for the edge sweep.
+    Phase ph1 = buildPhase(
+        chaos::randomPartition(n, comm.size(), comm.rank(), seed + 1), nullptr);
+    comm.resetStats();
+    for (int s = 0; s < 2; ++s) step(ph1, scratch);
+    const auto rndBytes = comm.stats().bytesSent;
+    const double cs1 = parti::globalSum(a);
+
+    // Remap onto an RCB partition and rebuild everything.
+    const auto coords = meshgen::gridCoordinates(side, side, perm);
+    Phase ph2 = buildPhase(
+        chaos::rcbPartition(coords.x, coords.y, comm.size(), comm.rank()),
+        std::move(ph1.x));
+    comm.resetStats();
+    for (int s = 0; s < 2; ++s) step(ph2, scratch);
+    const auto rcbBytes = comm.stats().bytesSent;
+    const double cs2 = parti::globalSum(a);
+
+    if (comm.rank() == 0) {
+      std::printf("  after random phase: checksum %.6e\n", cs1);
+      std::printf("  after RCB phase:    checksum %.6e\n", cs2);
+      std::printf("  rank-0 bytes/2 steps: random %llu, RCB %llu "
+                  "(edge-sweep locality improves)\n",
+                  static_cast<unsigned long long>(rndBytes),
+                  static_cast<unsigned long long>(rcbBytes));
+    }
+  });
+  std::printf("done\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The paper's Figure 1 end to end, in one program: a structured mesh
+// (Multiblock Parti) coupled to an unstructured mesh (Chaos), exchanging
+// boundary data through Meta-Chaos every time-step.
+//
+//   Loop 1: stencil sweep over the structured mesh
+//   Loop 2: Meta-Chaos copy  structured -> unstructured
+//   Loop 3: edge sweep over the unstructured mesh
+//   Loop 4: Meta-Chaos copy  unstructured -> structured
+//
+// Run:  ./cfd_coupling [nprocs] [steps] [mesh_side]
+#include <cstdio>
+#include <cstdlib>
+
+#include "transport/world.h"
+#include "workloads/coupled_mesh.h"
+
+using namespace mc;
+
+int main(int argc, char** argv) {
+  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 5;
+  const layout::Index side = argc > 3 ? std::atoll(argv[3]) : 64;
+  std::printf(
+      "CFD-style coupled meshes: %lldx%lld structured + %lld-point "
+      "unstructured, %d procs, %d steps\n",
+      static_cast<long long>(side), static_cast<long long>(side),
+      static_cast<long long>(side * side), nprocs, steps);
+
+  transport::World::runSPMD(nprocs, [&](transport::Comm& comm) {
+    workloads::CoupledMeshConfig cfg;
+    cfg.rows = side;
+    cfg.cols = side;
+    workloads::CoupledMesh mesh(comm, cfg);
+
+    // Inspectors: run once, before the time-step loop (the inspector /
+    // executor pattern all three libraries share).
+    const double i0 = comm.now();
+    mesh.buildRegularInspector();
+    mesh.buildIrregularInspector();
+    mesh.buildMetaChaosCopySchedules(core::Method::kCooperation);
+    comm.barrier();
+    const double i1 = comm.now();
+
+    for (int s = 0; s < steps; ++s) {
+      mesh.timeStepMC();
+      const double cs = mesh.checksum();
+      if (comm.rank() == 0) {
+        std::printf("  step %d: checksum %.6e (t=%.2f ms)\n", s, cs,
+                    1e3 * comm.now());
+      }
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::printf("inspectors: %.2f ms, total: %.2f ms (virtual time)\n",
+                  1e3 * (i1 - i0), 1e3 * comm.now());
+    }
+  });
+  return 0;
+}

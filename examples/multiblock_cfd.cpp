@@ -1,0 +1,76 @@
+// Multiblock structured-grid solver skeleton: an L-shaped domain built from
+// three blocks, stitched by inter-block interfaces that are updated every
+// time-step — the Multiblock Parti usage pattern behind the paper's Table 5
+// ("a multiblock CFD code, where inter-block boundaries must be updated at
+// every time-step").
+//
+//        +--------+--------+
+//        | block0 | block1 |      block0|block1 share a vertical interface,
+//        +--------+--------+      block0|block2 a horizontal one.
+//        | block2 |
+//        +--------+
+//
+// Run:  ./multiblock_cfd [nprocs] [steps] [block_side]
+#include <cstdio>
+#include <cstdlib>
+
+#include "parti/multiblock.h"
+#include "parti/stencil.h"
+#include "transport/world.h"
+
+using namespace mc;
+using layout::Index;
+using layout::Point;
+using layout::RegularSection;
+using layout::Shape;
+
+int main(int argc, char** argv) {
+  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 5;
+  const Index side = argc > 3 ? std::atoll(argv[3]) : 32;
+  std::printf("multiblock L-domain: three %lldx%lld blocks, %d procs, "
+              "%d steps\n",
+              static_cast<long long>(side), static_cast<long long>(side),
+              nprocs, steps);
+
+  transport::World::runSPMD(nprocs, [&](transport::Comm& comm) {
+    parti::MultiblockArray<double> mb(
+        comm, {Shape::of({side, side}), Shape::of({side, side}),
+               Shape::of({side, side})},
+        /*ghost=*/1);
+    for (int b = 0; b < 3; ++b) {
+      mb.block(b).fillByPoint([&](const Point& p) {
+        return 1.0 + 0.25 * b + 1e-4 * static_cast<double>(p[0] * side + p[1]);
+      });
+    }
+    // block0 right edge <-> block1 left edge.
+    mb.addInterface(0, RegularSection::box({0, side - 2}, {side - 1, side - 2}),
+                    1, RegularSection::box({0, 0}, {side - 1, 0}));
+    mb.addInterface(1, RegularSection::box({0, 1}, {side - 1, 1}),
+                    0, RegularSection::box({0, side - 1}, {side - 1, side - 1}));
+    // block0 bottom edge <-> block2 top edge.
+    mb.addInterface(0, RegularSection::box({side - 2, 0}, {side - 2, side - 1}),
+                    2, RegularSection::box({0, 0}, {0, side - 1}));
+    mb.addInterface(2, RegularSection::box({1, 0}, {1, side - 1}),
+                    0, RegularSection::box({side - 1, 0}, {side - 1, side - 1}));
+    mb.buildSchedules();
+
+    std::vector<double> scratch;
+    // Per-block ghost schedules live inside mb; the sweeps reuse them via
+    // exchangeAllGhosts + per-block relaxation.
+    for (int s = 0; s < steps; ++s) {
+      mb.updateInterfaces();  // refresh inter-block boundaries
+      for (int b = 0; b < 3; ++b) {
+        const parti::Schedule ghosts = parti::buildGhostSchedule(mb.block(b));
+        parti::stencilSweep(mb.block(b), ghosts, scratch);
+      }
+      const double cs = mb.checksum();
+      if (comm.rank() == 0) {
+        std::printf("  step %d: domain checksum %.6e (t=%.2f ms)\n", s, cs,
+                    1e3 * comm.now());
+      }
+    }
+  });
+  std::printf("done\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: copy a section of a Multiblock-Parti-distributed array into an
+// irregularly (Chaos-)distributed array with Meta-Chaos, inside one SPMD
+// program — the paper's Figure 2 scenario in ~60 lines of user code.
+//
+// Run:  ./quickstart [nprocs]        (default 4 virtual processors)
+#include <cstdio>
+#include <cstdlib>
+
+#include "chaos/partition.h"
+#include "core/adapters/chaos_adapter.h"
+#include "core/adapters/parti_adapter.h"
+#include "core/data_move.h"
+#include "transport/world.h"
+
+using namespace mc;
+using layout::Index;
+using layout::Point;
+using layout::RegularSection;
+using layout::Shape;
+
+int main(int argc, char** argv) {
+  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 4;
+  std::printf("Meta-Chaos quickstart on %d virtual processors\n", nprocs);
+
+  transport::World::runSPMD(nprocs, [](transport::Comm& comm) {
+    // --- a regular 8x8 mesh, BLOCK x BLOCK distributed by Multiblock Parti
+    parti::BlockDistArray<double> a(comm, Shape::of({8, 8}), /*ghost=*/0);
+    a.fillByPoint([](const Point& p) {
+      return static_cast<double>(10 * p[0] + p[1]);
+    });
+
+    // --- an irregular 64-element array, randomly partitioned by Chaos
+    const Index n = 64;
+    const auto mine = chaos::randomPartition(n, comm.size(), comm.rank(), 7);
+    auto table = std::make_shared<const chaos::TranslationTable>(
+        chaos::TranslationTable::build(
+            comm, mine, n, chaos::TranslationTable::Storage::kDistributed));
+    chaos::IrregArray<double> x(comm, table, mine);
+
+    // --- describe WHAT to copy: the whole mesh, row-major, onto the
+    //     irregular points in reversed order
+    core::SetOfRegions srcSet;
+    srcSet.add(core::Region::section(RegularSection::box({0, 0}, {7, 7})));
+    std::vector<Index> ids;
+    for (Index k = n - 1; k >= 0; --k) ids.push_back(k);
+    core::SetOfRegions dstSet;
+    dstSet.add(core::Region::indices(ids));
+
+    // --- build the schedule once, move data (both are collective)
+    const core::McSchedule sched = core::computeSchedule(
+        comm, core::PartiAdapter::describe(a), srcSet,
+        core::ChaosAdapter::describe(x), dstSet);
+    core::dataMove<double>(comm, sched, a.raw(), x.raw());
+
+    // --- check and report
+    const auto img = x.gatherGlobal();
+    if (comm.rank() == 0) {
+      int bad = 0;
+      for (Index k = 0; k < n; ++k) {
+        const Index i = k / 8, j = k % 8;  // mesh point feeding element n-1-k
+        if (img[static_cast<size_t>(n - 1 - k)] !=
+            static_cast<double>(10 * i + j)) {
+          ++bad;
+        }
+      }
+      std::printf("copied %lld elements parti -> chaos, %d mismatches\n",
+                  static_cast<long long>(n), bad);
+      std::printf("first 8 irregular elements: ");
+      for (int k = 0; k < 8; ++k) std::printf("%.0f ", img[static_cast<size_t>(k)]);
+      std::printf("\nvirtual time on rank 0: %.3f ms\n", 1e3 * comm.now());
+    }
+  });
+  return 0;
+}

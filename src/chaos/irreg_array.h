@@ -1,0 +1,89 @@
+// IrregArray: a Chaos-style irregularly distributed 1-D array.
+//
+// Each processor holds the elements a partitioner assigned to it, in local
+// order; a shared TranslationTable maps global indices to (owner, offset).
+// Off-processor references are resolved by the localize inspector
+// (chaos/localize.h), which appends a ghost area after the owned elements —
+// the classic Chaos storage layout.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "chaos/ttable.h"
+#include "transport/comm.h"
+
+namespace mc::chaos {
+
+template <typename T>
+class IrregArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// Collective: `myGlobals` is this processor's assignment (local order);
+  /// the table must have been built from the same assignment.
+  IrregArray(transport::Comm& comm,
+             std::shared_ptr<const TranslationTable> table,
+             std::vector<layout::Index> myGlobals)
+      : comm_(&comm), table_(std::move(table)), myGlobals_(std::move(myGlobals)) {
+    MC_REQUIRE(table_ != nullptr);
+    MC_REQUIRE(static_cast<layout::Index>(myGlobals_.size()) ==
+                   table_->localCount(comm.rank()),
+               "assignment size %zu does not match the translation table "
+               "(%lld local elements)",
+               myGlobals_.size(),
+               static_cast<long long>(table_->localCount(comm.rank())));
+    data_.assign(myGlobals_.size(), T{});
+  }
+
+  transport::Comm& comm() const { return *comm_; }
+  const TranslationTable& table() const { return *table_; }
+  std::shared_ptr<const TranslationTable> tablePtr() const { return table_; }
+  layout::Index globalSize() const { return table_->globalSize(); }
+  layout::Index localCount() const {
+    return static_cast<layout::Index>(data_.size());
+  }
+  std::span<const layout::Index> myGlobals() const { return myGlobals_; }
+
+  std::span<T> raw() { return data_; }
+  std::span<const T> raw() const { return data_; }
+  T& local(layout::Index i) { return data_[static_cast<size_t>(i)]; }
+  const T& local(layout::Index i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Sets every owned element to fn(globalIndex).
+  template <typename F>
+  void fillByGlobal(F&& fn) {
+    for (size_t i = 0; i < myGlobals_.size(); ++i) {
+      data_[i] = fn(myGlobals_[i]);
+    }
+  }
+
+  /// Collective test/debug oracle: the full array in global-index order on
+  /// every processor.
+  std::vector<T> gatherGlobal() const {
+    struct Pair {
+      layout::Index global;
+      T value;
+    };
+    std::vector<Pair> mine;
+    mine.reserve(myGlobals_.size());
+    for (size_t i = 0; i < myGlobals_.size(); ++i) {
+      mine.push_back(Pair{myGlobals_[i], data_[i]});
+    }
+    auto rows = comm_->allgather<Pair>(std::span<const Pair>(mine));
+    std::vector<T> out(static_cast<size_t>(globalSize()), T{});
+    for (const auto& row : rows) {
+      for (const Pair& p : row) out[static_cast<size_t>(p.global)] = p.value;
+    }
+    return out;
+  }
+
+ private:
+  transport::Comm* comm_;
+  std::shared_ptr<const TranslationTable> table_;
+  std::vector<layout::Index> myGlobals_;
+  std::vector<T> data_;
+};
+
+}  // namespace mc::chaos

@@ -1,0 +1,105 @@
+#include "chaos/partition.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mc::chaos {
+
+using layout::Index;
+
+std::vector<Index> blockPartition(Index n, int nprocs, int rank) {
+  MC_REQUIRE(n >= 0 && nprocs > 0 && rank >= 0 && rank < nprocs);
+  const Index block = (n + nprocs - 1) / nprocs;
+  const Index lo = block * rank;
+  const Index hi = std::min(n, block * (rank + 1));
+  std::vector<Index> out;
+  out.reserve(static_cast<size_t>(std::max<Index>(0, hi - lo)));
+  for (Index g = lo; g < hi; ++g) out.push_back(g);
+  return out;
+}
+
+std::vector<Index> cyclicPartition(Index n, int nprocs, int rank) {
+  MC_REQUIRE(n >= 0 && nprocs > 0 && rank >= 0 && rank < nprocs);
+  std::vector<Index> out;
+  out.reserve(static_cast<size_t>(n / nprocs + 1));
+  for (Index g = rank; g < n; g += nprocs) out.push_back(g);
+  return out;
+}
+
+std::vector<Index> randomPartition(Index n, int nprocs, int rank,
+                                   std::uint64_t seed) {
+  MC_REQUIRE(n >= 0 && nprocs > 0 && rank >= 0 && rank < nprocs);
+  Rng rng(seed);
+  const auto perm = rng.permutation(static_cast<std::uint64_t>(n));
+  std::vector<Index> out;
+  out.reserve(static_cast<size_t>(n / nprocs + 1));
+  for (Index g = 0; g < n; ++g) {
+    if (static_cast<int>(perm[static_cast<size_t>(g)] %
+                         static_cast<std::uint64_t>(nprocs)) == rank) {
+      out.push_back(g);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+using layout::Index;
+
+/// Assigns ranks [rankLo, rankLo+nparts) to `ids`, cutting along the wider
+/// axis.  `ids` is reordered freely; `ownerOf` receives the result.
+void rcbSplit(std::vector<Index>& ids, std::span<const double> x,
+              std::span<const double> y, int rankLo, int nparts,
+              std::vector<int>& ownerOf) {
+  if (nparts == 1) {
+    for (Index g : ids) ownerOf[static_cast<size_t>(g)] = rankLo;
+    return;
+  }
+  double xMin = std::numeric_limits<double>::infinity(), xMax = -xMin;
+  double yMin = xMin, yMax = -xMin;
+  for (Index g : ids) {
+    const auto gg = static_cast<size_t>(g);
+    xMin = std::min(xMin, x[gg]);
+    xMax = std::max(xMax, x[gg]);
+    yMin = std::min(yMin, y[gg]);
+    yMax = std::max(yMax, y[gg]);
+  }
+  const bool cutX = (xMax - xMin) >= (yMax - yMin);
+  // Deterministic order: sort by cut coordinate, ties by global index.
+  std::sort(ids.begin(), ids.end(), [&](Index a, Index b) {
+    const double ca = cutX ? x[static_cast<size_t>(a)] : y[static_cast<size_t>(a)];
+    const double cb = cutX ? x[static_cast<size_t>(b)] : y[static_cast<size_t>(b)];
+    return ca != cb ? ca < cb : a < b;
+  });
+  const int leftParts = nparts / 2;
+  const size_t leftCount =
+      ids.size() * static_cast<size_t>(leftParts) / static_cast<size_t>(nparts);
+  std::vector<Index> left(ids.begin(), ids.begin() + static_cast<long>(leftCount));
+  std::vector<Index> right(ids.begin() + static_cast<long>(leftCount), ids.end());
+  rcbSplit(left, x, y, rankLo, leftParts, ownerOf);
+  rcbSplit(right, x, y, rankLo + leftParts, nparts - leftParts, ownerOf);
+}
+
+}  // namespace
+
+std::vector<Index> rcbPartition(std::span<const double> x,
+                                std::span<const double> y, int nprocs,
+                                int rank) {
+  MC_REQUIRE(x.size() == y.size(), "coordinate arrays differ in length");
+  MC_REQUIRE(nprocs > 0 && rank >= 0 && rank < nprocs);
+  const auto n = static_cast<Index>(x.size());
+  std::vector<Index> ids(static_cast<size_t>(n));
+  for (Index g = 0; g < n; ++g) ids[static_cast<size_t>(g)] = g;
+  std::vector<int> ownerOf(static_cast<size_t>(n), -1);
+  if (n > 0) rcbSplit(ids, x, y, 0, nprocs, ownerOf);
+  std::vector<Index> mine;
+  for (Index g = 0; g < n; ++g) {
+    if (ownerOf[static_cast<size_t>(g)] == rank) mine.push_back(g);
+  }
+  return mine;
+}
+
+}  // namespace mc::chaos

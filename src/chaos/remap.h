@@ -1,0 +1,45 @@
+// Remap: move an irregular array to a new partitioning.
+//
+// Adaptive irregular applications repartition as the computation evolves
+// (Chaos was built for exactly this: "runtime and language support for
+// compiling adaptive irregular programs").  remap() builds the new
+// translation table, derives the old-owner -> new-owner schedule through
+// the existing copy machinery, moves the data, and returns the array under
+// its new distribution.  Schedules built against the old distribution
+// (localize results, Meta-Chaos schedules) are invalidated by a remap and
+// must be rebuilt — the usual inspector/executor contract.
+#pragma once
+
+#include "chaos/irreg_copy.h"
+#include "chaos/irreg_array.h"
+
+namespace mc::chaos {
+
+/// Collective: every processor passes the global indices it will own
+/// *after* the remap (the new partitioner's assignment, local order).
+/// Returns the array under the new distribution; `old` keeps its data and
+/// distribution (caller discards it when done).
+template <typename T>
+IrregArray<T> remap(const IrregArray<T>& old,
+                    std::vector<layout::Index> newMine,
+                    TranslationTable::Storage storage) {
+  transport::Comm& comm = old.comm();
+  auto newTable = std::make_shared<const TranslationTable>(
+      TranslationTable::build(comm, newMine, old.globalSize(), storage,
+                              old.table().modeledQueryCost()));
+  IrregArray<T> fresh(comm, newTable, std::move(newMine));
+  // Mapping: my old element at offset i (global g) goes to new location of
+  // the same global index g.
+  const auto myOld = old.myGlobals();
+  std::vector<layout::Index> srcOffsets(myOld.size());
+  std::vector<layout::Index> dstGlobals(myOld.begin(), myOld.end());
+  for (size_t i = 0; i < myOld.size(); ++i) {
+    srcOffsets[i] = static_cast<layout::Index>(i);
+  }
+  const sched::Schedule sched =
+      buildIrregCopySchedule(comm, *newTable, srcOffsets, dstGlobals);
+  sched::execute<T>(comm, sched, old.raw(), fresh.raw(), comm.nextUserTag());
+  return fresh;
+}
+
+}  // namespace mc::chaos

@@ -1,0 +1,191 @@
+#include "chaos/ttable.h"
+
+#include <algorithm>
+
+namespace mc::chaos {
+
+using layout::Index;
+
+TranslationTable TranslationTable::build(
+    transport::Comm& comm, std::span<const Index> myGlobals, Index globalSize,
+    Storage storage, double modeledQueryCostSeconds) {
+  MC_REQUIRE(globalSize > 0);
+  MC_REQUIRE(modeledQueryCostSeconds >= 0.0);
+  TranslationTable t;
+  t.storage_ = storage;
+  t.modeledQueryCost_ = modeledQueryCostSeconds;
+  t.globalSize_ = globalSize;
+  t.myRank_ = comm.rank();
+  const int np = comm.size();
+  t.homeBlock_ = (globalSize + np - 1) / np;
+  t.localCounts_ = [&] {
+    auto counts = comm.allgatherValue(static_cast<Index>(myGlobals.size()));
+    Index total = 0;
+    for (Index c : counts) total += c;
+    MC_REQUIRE(total == globalSize,
+               "partition covers %lld elements, global size is %lld",
+               static_cast<long long>(total),
+               static_cast<long long>(globalSize));
+    return counts;
+  }();
+
+  // Triples (global, owner, offset) contributed by this processor.
+  struct Entry {
+    Index global;
+    Index offset;
+    int proc;
+  };
+  std::vector<Entry> mine;
+  mine.reserve(myGlobals.size());
+  for (size_t i = 0; i < myGlobals.size(); ++i) {
+    const Index g = myGlobals[i];
+    MC_REQUIRE(g >= 0 && g < globalSize, "global index %lld out of range",
+               static_cast<long long>(g));
+    mine.push_back(Entry{g, static_cast<Index>(i), comm.rank()});
+  }
+
+  if (storage == Storage::kReplicated) {
+    auto rows = comm.allgather<Entry>(std::span<const Entry>(mine));
+    t.entries_.assign(static_cast<size_t>(globalSize), ElementLoc{});
+    for (const auto& row : rows) {
+      for (const Entry& e : row) {
+        ElementLoc& loc = t.entries_[static_cast<size_t>(e.global)];
+        MC_REQUIRE(loc.proc == -1, "global index %lld owned twice",
+                   static_cast<long long>(e.global));
+        loc = ElementLoc{e.proc, e.offset};
+      }
+    }
+    for (Index g = 0; g < globalSize; ++g) {
+      MC_REQUIRE(t.entries_[static_cast<size_t>(g)].proc != -1,
+                 "global index %lld unowned", static_cast<long long>(g));
+    }
+  } else {
+    // Route each entry to its home processor.
+    std::vector<std::vector<Entry>> sendTo(static_cast<size_t>(np));
+    for (const Entry& e : mine) {
+      sendTo[static_cast<size_t>(t.homeOf(e.global))].push_back(e);
+    }
+    auto recvFrom = comm.alltoall(sendTo);
+    const Index sliceLo = t.homeBlock_ * comm.rank();
+    const Index sliceSize =
+        std::max<Index>(0, std::min(t.homeBlock_, globalSize - sliceLo));
+    t.entries_.assign(static_cast<size_t>(sliceSize), ElementLoc{});
+    Index filled = 0;
+    for (const auto& row : recvFrom) {
+      for (const Entry& e : row) {
+        const Index slot = e.global - sliceLo;
+        MC_CHECK(slot >= 0 && slot < sliceSize);
+        ElementLoc& loc = t.entries_[static_cast<size_t>(slot)];
+        MC_REQUIRE(loc.proc == -1, "global index %lld owned twice",
+                   static_cast<long long>(e.global));
+        loc = ElementLoc{e.proc, e.offset};
+        ++filled;
+      }
+    }
+    // Coverage check is global: every slice must be fully populated.
+    const double total = comm.allreduceSum(static_cast<double>(filled));
+    MC_REQUIRE(static_cast<Index>(total) == globalSize,
+               "partition covers %lld of %lld elements",
+               static_cast<long long>(total),
+               static_cast<long long>(globalSize));
+    for (Index s = 0; s < sliceSize; ++s) {
+      MC_REQUIRE(t.entries_[static_cast<size_t>(s)].proc != -1,
+                 "global index %lld unowned",
+                 static_cast<long long>(sliceLo + s));
+    }
+  }
+  return t;
+}
+
+TranslationTable TranslationTable::replicatedFromEntries(
+    std::vector<ElementLoc> entries, int nprocs,
+    double modeledQueryCostSeconds) {
+  MC_REQUIRE(!entries.empty() && nprocs > 0);
+  MC_REQUIRE(modeledQueryCostSeconds >= 0.0);
+  TranslationTable t;
+  t.storage_ = Storage::kReplicated;
+  t.modeledQueryCost_ = modeledQueryCostSeconds;
+  t.globalSize_ = static_cast<Index>(entries.size());
+  t.homeBlock_ = (t.globalSize_ + nprocs - 1) / nprocs;
+  t.localCounts_.assign(static_cast<size_t>(nprocs), 0);
+  for (const ElementLoc& loc : entries) {
+    MC_REQUIRE(loc.proc >= 0 && loc.proc < nprocs,
+               "entry owner %d out of range", loc.proc);
+    ++t.localCounts_[static_cast<size_t>(loc.proc)];
+  }
+  t.entries_ = std::move(entries);
+  return t;
+}
+
+std::vector<ElementLoc> TranslationTable::dereference(
+    transport::Comm& comm, std::span<const Index> globals) const {
+  std::vector<ElementLoc> out(globals.size());
+  if (storage_ == Storage::kReplicated) {
+    for (size_t i = 0; i < globals.size(); ++i) {
+      out[i] = dereferenceLocal(globals[i]);
+    }
+    // Replicated tables answer locally; the lookup machinery still pays the
+    // modeled per-element cost.
+    comm.advance(modeledQueryCost_ * static_cast<double>(globals.size()));
+    return out;
+  }
+  const int np = comm.size();
+  // Group queries by home processor, remembering their positions.
+  std::vector<std::vector<Index>> queryTo(static_cast<size_t>(np));
+  std::vector<std::vector<size_t>> posOf(static_cast<size_t>(np));
+  for (size_t i = 0; i < globals.size(); ++i) {
+    const Index g = globals[i];
+    MC_REQUIRE(g >= 0 && g < globalSize_, "global index %lld out of range",
+               static_cast<long long>(g));
+    const auto h = static_cast<size_t>(homeOf(g));
+    queryTo[h].push_back(g);
+    posOf[h].push_back(i);
+  }
+  auto queries = comm.alltoall(queryTo);
+  // Answer the queries that landed on my slice; the per-element lookup cost
+  // is charged here, on the answering processor, so dereference work
+  // spreads over the processors holding the table.
+  const Index sliceLo = homeBlock_ * myRank_;
+  std::size_t answered = 0;
+  for (const auto& qs : queries) answered += qs.size();
+  comm.advance(modeledQueryCost_ * static_cast<double>(answered));
+  std::vector<std::vector<ElementLoc>> answers(static_cast<size_t>(np));
+  for (int q = 0; q < np; ++q) {
+    const auto& qs = queries[static_cast<size_t>(q)];
+    auto& ans = answers[static_cast<size_t>(q)];
+    ans.reserve(qs.size());
+    for (Index g : qs) {
+      const Index slot = g - sliceLo;
+      MC_CHECK(slot >= 0 && slot < static_cast<Index>(entries_.size()));
+      ans.push_back(entries_[static_cast<size_t>(slot)]);
+    }
+  }
+  auto replies = comm.alltoall(answers);
+  for (int h = 0; h < np; ++h) {
+    const auto& reply = replies[static_cast<size_t>(h)];
+    const auto& pos = posOf[static_cast<size_t>(h)];
+    MC_CHECK(reply.size() == pos.size());
+    for (size_t k = 0; k < reply.size(); ++k) out[pos[k]] = reply[k];
+  }
+  return out;
+}
+
+ElementLoc TranslationTable::dereferenceLocal(Index g) const {
+  MC_REQUIRE(storage_ == Storage::kReplicated,
+             "local dereference requires a replicated translation table");
+  MC_REQUIRE(g >= 0 && g < globalSize_);
+  return entries_[static_cast<size_t>(g)];
+}
+
+std::vector<ElementLoc> TranslationTable::gatherFull(
+    transport::Comm& comm) const {
+  if (storage_ == Storage::kReplicated) return entries_;
+  auto rows = comm.allgather<ElementLoc>(std::span<const ElementLoc>(entries_));
+  std::vector<ElementLoc> full;
+  full.reserve(static_cast<size_t>(globalSize_));
+  for (const auto& row : rows) full.insert(full.end(), row.begin(), row.end());
+  MC_CHECK(static_cast<Index>(full.size()) == globalSize_);
+  return full;
+}
+
+}  // namespace mc::chaos

@@ -1,0 +1,106 @@
+// Translation tables: the heart of the Chaos runtime library.
+//
+// Chaos [Das, Saltz et al.; JPDC 1994] distributes 1-D arrays *irregularly*:
+// an arbitrary assignment of global indices to processors, chosen by a
+// partitioner.  The translation table records, for every global index, the
+// owning processor and the element's offset in the owner's local storage.
+//
+// Two storage policies, both from the real library:
+//  * replicated  — every processor holds the full table; dereference is a
+//    local lookup, but memory is O(global size) per processor.
+//  * distributed — entry g lives on processor g / ceil(N/P) (the table's
+//    "home" distribution); dereference is a collective exchange.  This is
+//    the policy whose cost dominates the paper's Table 2 (the "Chaos
+//    dereference function" the text discusses), and whose size makes the
+//    paper's *duplication* schedule method impractical across programs.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "layout/index.h"
+#include "transport/comm.h"
+
+namespace mc::chaos {
+
+/// Location of one element: owning processor and offset in its local data.
+struct ElementLoc {
+  int proc = -1;
+  layout::Index offset = -1;
+  bool operator==(const ElementLoc& o) const {
+    return proc == o.proc && offset == o.offset;
+  }
+};
+
+class TranslationTable {
+ public:
+  enum class Storage { kReplicated, kDistributed };
+
+  /// Collective build.  `myGlobals` lists the global indices owned by the
+  /// calling processor, in local storage order; the union over processors
+  /// must be exactly {0, ..., globalSize-1} with no duplicates.
+  /// `modeledQueryCostSeconds`: virtual-clock charge per dereferenced
+  /// element, calibrated to the original library's per-element lookup cost
+  /// (the paper's Table 2 implies ~15us/element on the SP2).  The charge
+  /// lands on whichever processor resolves the query, so dereference work
+  /// spreads across processors exactly as in Chaos.  Zero (the default)
+  /// keeps dereference at this host's native speed.
+  static TranslationTable build(transport::Comm& comm,
+                                std::span<const layout::Index> myGlobals,
+                                layout::Index globalSize, Storage storage,
+                                double modeledQueryCostSeconds = 0.0);
+
+  /// Builds a replicated table directly from a complete entry list (entry g
+  /// = location of global index g).  Used to reconstruct a table shipped to
+  /// another program; no communication.
+  static TranslationTable replicatedFromEntries(
+      std::vector<ElementLoc> entries, int nprocs,
+      double modeledQueryCostSeconds = 0.0);
+
+  Storage storage() const { return storage_; }
+  layout::Index globalSize() const { return globalSize_; }
+  /// Number of elements owned by processor `proc`.
+  layout::Index localCount(int proc) const {
+    return localCounts_[static_cast<size_t>(proc)];
+  }
+
+  /// Collective dereference: every processor passes its own query list and
+  /// receives the locations in query order.  Replicated tables answer
+  /// locally; distributed tables exchange query/answer messages with each
+  /// entry's home processor (the expensive path the paper measures).
+  std::vector<ElementLoc> dereference(
+      transport::Comm& comm, std::span<const layout::Index> globals) const;
+
+  /// Local lookup; requires replicated storage.
+  ElementLoc dereferenceLocal(layout::Index g) const;
+
+  /// Collective: materializes the complete table on every processor.  For a
+  /// distributed table this ships O(globalSize) data — provided to let the
+  /// benchmarks demonstrate *why* the paper rules out the duplication
+  /// schedule method for Chaos-distributed data across programs.
+  std::vector<ElementLoc> gatherFull(transport::Comm& comm) const;
+
+  /// Home processor of entry g in the distributed policy.
+  int homeOf(layout::Index g) const {
+    return static_cast<int>(g / homeBlock_);
+  }
+
+  /// Modeled per-element dereference cost (see build()).
+  double modeledQueryCost() const { return modeledQueryCost_; }
+
+ private:
+  TranslationTable() = default;
+
+  Storage storage_ = Storage::kReplicated;
+  layout::Index globalSize_ = 0;
+  layout::Index homeBlock_ = 1;          // ceil(N/P)
+  std::vector<layout::Index> localCounts_;
+  // kReplicated: full table, indexed by global index.
+  // kDistributed: my home slice, indexed by g - homeBlock*rank.
+  std::vector<ElementLoc> entries_;
+  int myRank_ = 0;
+  double modeledQueryCost_ = 0.0;
+};
+
+}  // namespace mc::chaos

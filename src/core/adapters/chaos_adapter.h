@@ -1,0 +1,52 @@
+// Meta-Chaos adapter for the Chaos library.
+//
+// Region type: an explicit set of global array indices; linearization: the
+// listed order.  Ownership lives in the translation table, which makes this
+// the *expensive* adapter — the costs the paper's Tables 1-4 revolve
+// around:
+//
+//  * with a distributed table, ownership queries require communication, so
+//    enumerateOwned is overridden with a partitioned collective: each
+//    processor dereferences its slice of the linearization and routes the
+//    results to the owners (this is why the paper's two-program schedule
+//    times drop almost linearly with more Chaos-side processors, Table 3);
+//  * full local enumeration (the duplication method) needs the whole table:
+//    possible only when it is replicated, and serializing the descriptor
+//    ships O(array size) data — the reason the paper calls duplication
+//    impractical for Chaos data across programs.
+#pragma once
+
+#include "chaos/irreg_array.h"
+#include "core/adapter.h"
+
+namespace mc::core {
+
+class ChaosAdapter final : public LibraryAdapter {
+ public:
+  std::string name() const override { return "chaos"; }
+  Region::Kind regionKind() const override { return Region::Kind::kIndices; }
+  void validate(const DistObject& obj, const SetOfRegions& set) const override;
+  bool supportsLocalEnumeration(const DistObject& obj) const override;
+  void enumerateAll(const DistObject& obj, const SetOfRegions& set,
+                    const std::function<void(layout::Index, int,
+                                             layout::Index)>& fn) const override;
+  std::vector<LinLoc> enumerateOwned(const DistObject& obj,
+                                     const SetOfRegions& set,
+                                     transport::Comm& comm) const override;
+  void enumerateRange(const DistObject& obj, const SetOfRegions& set,
+                      layout::Index linLo, layout::Index linHi,
+                      const std::function<void(layout::Index, int,
+                                               layout::Index)>& fn)
+      const override;
+  double modeledElementDereferenceCost(const DistObject& obj) const override;
+  std::vector<std::byte> serializeDesc(const DistObject& obj,
+                                       transport::Comm& comm) const override;
+  DistObject deserializeDesc(std::span<const std::byte> bytes) const override;
+
+  template <typename T>
+  static DistObject describe(const chaos::IrregArray<T>& array) {
+    return DistObject("chaos", array.tablePtr());
+  }
+};
+
+}  // namespace mc::core

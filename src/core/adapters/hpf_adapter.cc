@@ -1,0 +1,98 @@
+#include "core/adapters/hpf_adapter.h"
+
+#include <cstring>
+
+#include "core/adapters/section_range.h"
+
+namespace mc::core {
+
+using layout::Index;
+
+void HpfAdapter::validate(const DistObject& obj,
+                          const SetOfRegions& set) const {
+  const auto& dist = obj.as<hpfrt::HpfDist>();
+  const layout::Shape& shape = dist.globalShape();
+  for (const Region& r : set.regions()) {
+    MC_REQUIRE(r.kind() == Region::Kind::kSection,
+               "hpf regions must be array sections");
+    const layout::RegularSection& s = r.asSection();
+    MC_REQUIRE(s.rank == shape.rank, "section rank %d != array rank %d",
+               s.rank, shape.rank);
+    if (s.empty()) continue;
+    for (int d = 0; d < s.rank; ++d) {
+      const auto dd = static_cast<size_t>(d);
+      MC_REQUIRE(s.lo[dd] >= 0 && s.hi[dd] < shape[d],
+                 "section exceeds array bounds in dimension %d", d);
+    }
+  }
+}
+
+void HpfAdapter::enumerateAll(
+    const DistObject& obj, const SetOfRegions& set,
+    const std::function<void(Index, int, Index)>& fn) const {
+  const auto& dist = obj.as<hpfrt::HpfDist>();
+  Index base = 0;
+  for (const Region& r : set.regions()) {
+    const layout::RegularSection& s = r.asSection();
+    s.forEach([&](const layout::Point& p, Index pos) {
+      const int owner = dist.ownerOf(p);
+      fn(base + pos, owner, dist.localOffset(owner, p));
+    });
+    base += s.numElements();
+  }
+}
+
+void HpfAdapter::enumerateRange(
+    const DistObject& obj, const SetOfRegions& set, Index linLo, Index linHi,
+    const std::function<void(Index, int, Index)>& fn) const {
+  const auto& dist = obj.as<hpfrt::HpfDist>();
+  forEachSectionPointInRange(set, linLo, linHi,
+                             [&](Index lin, const layout::Point& p) {
+                               const int owner = dist.ownerOf(p);
+                               fn(lin, owner, dist.localOffset(owner, p));
+                             });
+}
+
+std::vector<std::byte> HpfAdapter::serializeDesc(const DistObject& obj,
+                                                 transport::Comm&) const {
+  const auto& dist = obj.as<hpfrt::HpfDist>();
+  const layout::Shape& shape = dist.globalShape();
+  std::vector<Index> words;
+  words.push_back(shape.rank);
+  for (int d = 0; d < shape.rank; ++d) words.push_back(shape[d]);
+  for (const hpfrt::DimDist& dd : dist.dims()) {
+    words.push_back(static_cast<Index>(dd.kind));
+    words.push_back(dd.procs);
+    words.push_back(dd.param);
+  }
+  std::vector<std::byte> out(words.size() * sizeof(Index));
+  std::memcpy(out.data(), words.data(), out.size());
+  return out;
+}
+
+DistObject HpfAdapter::deserializeDesc(
+    std::span<const std::byte> bytes) const {
+  MC_REQUIRE(bytes.size() % sizeof(Index) == 0, "bad hpf descriptor");
+  std::vector<Index> words(bytes.size() / sizeof(Index));
+  std::memcpy(words.data(), bytes.data(), bytes.size());
+  size_t pos = 0;
+  const int rank = static_cast<int>(words.at(pos++));
+  MC_REQUIRE(rank >= 1 && rank <= layout::kMaxRank, "bad hpf descriptor");
+  MC_REQUIRE(words.size() == 1 + 4 * static_cast<size_t>(rank),
+             "bad hpf descriptor");
+  layout::Shape shape;
+  shape.rank = rank;
+  for (int d = 0; d < rank; ++d) shape[d] = words.at(pos++);
+  std::vector<hpfrt::DimDist> dims;
+  for (int d = 0; d < rank; ++d) {
+    hpfrt::DimDist dd;
+    dd.kind = static_cast<hpfrt::DistKind>(words.at(pos++));
+    dd.procs = static_cast<int>(words.at(pos++));
+    dd.param = words.at(pos++);
+    dims.push_back(dd);
+  }
+  auto desc = std::make_shared<const hpfrt::HpfDist>(shape, std::move(dims));
+  return DistObject("hpf", std::move(desc));
+}
+
+}  // namespace mc::core

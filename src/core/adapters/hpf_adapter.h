@@ -1,0 +1,41 @@
+// Meta-Chaos adapter for the HPF runtime library.
+//
+// Region type: a regular array section (HPF array subsections, exactly the
+// paper's CreateRegion_HPF example); linearization: row-major over the
+// section.  All three HPF distribution patterns are closed-form, so local
+// enumeration always works and descriptors are tiny.
+#pragma once
+
+#include "core/adapter.h"
+#include "hpfrt/hpf_array.h"
+
+namespace mc::core {
+
+class HpfAdapter final : public LibraryAdapter {
+ public:
+  std::string name() const override { return "hpf"; }
+  Region::Kind regionKind() const override { return Region::Kind::kSection; }
+  void validate(const DistObject& obj, const SetOfRegions& set) const override;
+  bool supportsLocalEnumeration(const DistObject&) const override {
+    return true;
+  }
+  void enumerateAll(const DistObject& obj, const SetOfRegions& set,
+                    const std::function<void(layout::Index, int,
+                                             layout::Index)>& fn) const override;
+  void enumerateRange(const DistObject& obj, const SetOfRegions& set,
+                      layout::Index linLo, layout::Index linHi,
+                      const std::function<void(layout::Index, int,
+                                               layout::Index)>& fn)
+      const override;
+  std::vector<std::byte> serializeDesc(const DistObject& obj,
+                                       transport::Comm& comm) const override;
+  DistObject deserializeDesc(std::span<const std::byte> bytes) const override;
+
+  template <typename T>
+  static DistObject describe(const hpfrt::HpfArray<T>& array) {
+    return DistObject("hpf",
+                      std::make_shared<const hpfrt::HpfDist>(array.dist()));
+  }
+};
+
+}  // namespace mc::core

@@ -1,0 +1,104 @@
+#include "core/adapters/parti_adapter.h"
+
+#include <cstring>
+
+#include "core/adapters/section_range.h"
+
+namespace mc::core {
+
+using layout::Index;
+
+void PartiAdapter::validate(const DistObject& obj,
+                            const SetOfRegions& set) const {
+  const auto& desc = obj.as<parti::PartiDesc>();
+  const layout::Shape& shape = desc.decomp.globalShape();
+  for (const Region& r : set.regions()) {
+    MC_REQUIRE(r.kind() == Region::Kind::kSection,
+               "parti regions must be array sections");
+    const layout::RegularSection& s = r.asSection();
+    MC_REQUIRE(s.rank == shape.rank, "section rank %d != array rank %d",
+               s.rank, shape.rank);
+    if (s.empty()) continue;
+    for (int d = 0; d < s.rank; ++d) {
+      const auto dd = static_cast<size_t>(d);
+      MC_REQUIRE(s.lo[dd] >= 0 && s.hi[dd] < shape[d],
+                 "section exceeds array bounds in dimension %d", d);
+    }
+  }
+}
+
+void PartiAdapter::enumerateAll(
+    const DistObject& obj, const SetOfRegions& set,
+    const std::function<void(Index, int, Index)>& fn) const {
+  const auto& desc = obj.as<parti::PartiDesc>();
+  // Per-processor addressing snapshots: one table lookup per element
+  // instead of re-deriving the owned box every time.
+  std::vector<parti::PartiAddr> addr;
+  addr.reserve(static_cast<size_t>(desc.decomp.nprocs()));
+  for (int proc = 0; proc < desc.decomp.nprocs(); ++proc) {
+    addr.push_back(desc.addrOf(proc));
+  }
+  Index base = 0;
+  for (const Region& r : set.regions()) {
+    const layout::RegularSection& s = r.asSection();
+    s.forEach([&](const layout::Point& p, Index pos) {
+      const int owner = desc.decomp.ownerOf(p);
+      fn(base + pos, owner, addr[static_cast<size_t>(owner)].offsetOf(p));
+    });
+    base += s.numElements();
+  }
+}
+
+void PartiAdapter::enumerateRange(
+    const DistObject& obj, const SetOfRegions& set, Index linLo, Index linHi,
+    const std::function<void(Index, int, Index)>& fn) const {
+  const auto& desc = obj.as<parti::PartiDesc>();
+  std::vector<parti::PartiAddr> addr;
+  addr.reserve(static_cast<size_t>(desc.decomp.nprocs()));
+  for (int proc = 0; proc < desc.decomp.nprocs(); ++proc) {
+    addr.push_back(desc.addrOf(proc));
+  }
+  forEachSectionPointInRange(set, linLo, linHi,
+                             [&](Index lin, const layout::Point& p) {
+                               const int owner = desc.decomp.ownerOf(p);
+                               fn(lin, owner,
+                                  addr[static_cast<size_t>(owner)].offsetOf(p));
+                             });
+}
+
+std::vector<std::byte> PartiAdapter::serializeDesc(const DistObject& obj,
+                                                   transport::Comm&) const {
+  const auto& desc = obj.as<parti::PartiDesc>();
+  const layout::Shape& shape = desc.decomp.globalShape();
+  std::vector<Index> words;
+  words.push_back(shape.rank);
+  for (int d = 0; d < shape.rank; ++d) words.push_back(shape[d]);
+  for (int g : desc.decomp.grid()) words.push_back(g);
+  words.push_back(desc.ghost);
+  std::vector<std::byte> out(words.size() * sizeof(Index));
+  std::memcpy(out.data(), words.data(), out.size());
+  return out;
+}
+
+DistObject PartiAdapter::deserializeDesc(
+    std::span<const std::byte> bytes) const {
+  MC_REQUIRE(bytes.size() % sizeof(Index) == 0, "bad parti descriptor");
+  std::vector<Index> words(bytes.size() / sizeof(Index));
+  std::memcpy(words.data(), bytes.data(), bytes.size());
+  size_t pos = 0;
+  const int rank = static_cast<int>(words.at(pos++));
+  MC_REQUIRE(rank >= 1 && rank <= layout::kMaxRank, "bad parti descriptor");
+  MC_REQUIRE(words.size() == 2 + 2 * static_cast<size_t>(rank),
+             "bad parti descriptor");
+  layout::Shape shape;
+  shape.rank = rank;
+  for (int d = 0; d < rank; ++d) shape[d] = words.at(pos++);
+  std::vector<int> grid;
+  for (int d = 0; d < rank; ++d) grid.push_back(static_cast<int>(words.at(pos++)));
+  const int ghost = static_cast<int>(words.at(pos++));
+  auto desc = std::make_shared<const parti::PartiDesc>(
+      parti::PartiDesc{layout::BlockDecomp(shape, grid), ghost});
+  return DistObject("parti", std::move(desc));
+}
+
+}  // namespace mc::core

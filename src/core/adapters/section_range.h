@@ -1,0 +1,30 @@
+// Random access into the linearization of a section-region set: visits
+// positions [linLo, linHi) in O(linHi - linLo) using RegularSection::pointAt
+// rather than walking the whole set.  Shared by the regular-library
+// adapters (Parti, HPF).
+#pragma once
+
+#include <functional>
+
+#include "core/region.h"
+
+namespace mc::core {
+
+template <typename F>
+void forEachSectionPointInRange(const SetOfRegions& set, layout::Index linLo,
+                                layout::Index linHi, F&& fn) {
+  layout::Index base = 0;
+  for (const Region& r : set.regions()) {
+    const layout::RegularSection& s = r.asSection();
+    const layout::Index n = s.numElements();
+    const layout::Index lo = std::max(linLo, base);
+    const layout::Index hi = std::min(linHi, base + n);
+    for (layout::Index lin = lo; lin < hi; ++lin) {
+      fn(lin, s.pointAt(lin - base));
+    }
+    base += n;
+    if (base >= linHi) break;
+  }
+}
+
+}  // namespace mc::core

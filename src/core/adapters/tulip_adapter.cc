@@ -1,0 +1,80 @@
+#include "core/adapters/tulip_adapter.h"
+
+#include <cstring>
+
+namespace mc::core {
+
+using layout::Index;
+
+void TulipAdapter::validate(const DistObject& obj,
+                            const SetOfRegions& set) const {
+  const auto& desc = obj.as<tulip::TulipDesc>();
+  for (const Region& r : set.regions()) {
+    MC_REQUIRE(r.kind() == Region::Kind::kRange,
+               "pc++ regions must be element ranges");
+    const ElementRange& e = r.asRange();
+    if (e.numElements() == 0) continue;
+    MC_REQUIRE(e.lo >= 0 && e.hi < desc.size,
+               "range [%lld, %lld] exceeds collection size %lld",
+               static_cast<long long>(e.lo), static_cast<long long>(e.hi),
+               static_cast<long long>(desc.size));
+  }
+}
+
+void TulipAdapter::enumerateAll(
+    const DistObject& obj, const SetOfRegions& set,
+    const std::function<void(Index, int, Index)>& fn) const {
+  const auto& desc = obj.as<tulip::TulipDesc>();
+  Index base = 0;
+  for (const Region& r : set.regions()) {
+    const ElementRange& e = r.asRange();
+    const Index n = e.numElements();
+    for (Index k = 0; k < n; ++k) {
+      const Index g = e.at(k);
+      fn(base + k, desc.ownerOf(g), desc.localOffsetOf(g));
+    }
+    base += n;
+  }
+}
+
+void TulipAdapter::enumerateRange(
+    const DistObject& obj, const SetOfRegions& set, Index linLo, Index linHi,
+    const std::function<void(Index, int, Index)>& fn) const {
+  const auto& desc = obj.as<tulip::TulipDesc>();
+  Index base = 0;
+  for (const Region& r : set.regions()) {
+    const ElementRange& e = r.asRange();
+    const Index n = e.numElements();
+    const Index lo = std::max(linLo, base);
+    const Index hi = std::min(linHi, base + n);
+    for (Index lin = lo; lin < hi; ++lin) {
+      const Index g = e.at(lin - base);
+      fn(lin, desc.ownerOf(g), desc.localOffsetOf(g));
+    }
+    base += n;
+    if (base >= linHi) break;
+  }
+}
+
+std::vector<std::byte> TulipAdapter::serializeDesc(const DistObject& obj,
+                                                   transport::Comm&) const {
+  const auto& desc = obj.as<tulip::TulipDesc>();
+  const Index words[3] = {desc.size, desc.nprocs,
+                          static_cast<Index>(desc.placement)};
+  std::vector<std::byte> out(sizeof(words));
+  std::memcpy(out.data(), words, sizeof(words));
+  return out;
+}
+
+DistObject TulipAdapter::deserializeDesc(
+    std::span<const std::byte> bytes) const {
+  MC_REQUIRE(bytes.size() == 3 * sizeof(Index), "bad pc++ descriptor");
+  Index words[3];
+  std::memcpy(words, bytes.data(), sizeof(words));
+  auto desc = std::make_shared<const tulip::TulipDesc>(
+      tulip::TulipDesc{words[0], static_cast<int>(words[1]),
+                       static_cast<tulip::Placement>(words[2])});
+  return DistObject("pc++", std::move(desc));
+}
+
+}  // namespace mc::core

@@ -1,0 +1,172 @@
+#include "core/mc_api.h"
+
+#include <map>
+#include <optional>
+
+namespace mc::api {
+
+namespace {
+
+/// Per-virtual-processor handle tables.  Each SPMD rank runs on its own
+/// thread, so thread_local state gives every rank an independent namespace,
+/// exactly like the original library's per-process state.
+struct ApiState {
+  int next = 1;
+  std::map<RegionId, core::Region> regions;
+  std::map<SetId, core::SetOfRegions> sets;
+  std::map<ObjectId, core::DistObject> objects;
+  std::map<SchedId, core::McSchedule> schedules;
+};
+
+ApiState& state() {
+  thread_local ApiState s;
+  return s;
+}
+
+template <typename M>
+typename M::mapped_type& lookup(M& table, int id, const char* what) {
+  const auto it = table.find(id);
+  MC_REQUIRE(it != table.end(), "unknown %s handle %d", what, id);
+  return it->second;
+}
+
+RegionId addSectionRegion(int ndims, const layout::Index* lo,
+                          const layout::Index* hi,
+                          const layout::Index* stride) {
+  MC_REQUIRE(ndims >= 1 && ndims <= layout::kMaxRank,
+             "region rank %d out of range", ndims);
+  MC_REQUIRE(lo != nullptr && hi != nullptr);
+  layout::RegularSection s;
+  s.rank = ndims;
+  for (int d = 0; d < ndims; ++d) {
+    const auto dd = static_cast<size_t>(d);
+    s.lo[dd] = lo[d];
+    s.hi[dd] = hi[d];
+    s.stride[dd] = stride != nullptr ? stride[d] : 1;
+    MC_REQUIRE(s.stride[dd] > 0, "stride must be positive");
+  }
+  ApiState& st = state();
+  const RegionId id = st.next++;
+  st.regions.emplace(id, core::Region::section(s));
+  return id;
+}
+
+}  // namespace
+
+RegionId CreateRegion_HPF(int ndims, const layout::Index* lo,
+                          const layout::Index* hi,
+                          const layout::Index* stride) {
+  return addSectionRegion(ndims, lo, hi, stride);
+}
+
+RegionId CreateRegion_Parti(int ndims, const layout::Index* lo,
+                            const layout::Index* hi,
+                            const layout::Index* stride) {
+  return addSectionRegion(ndims, lo, hi, stride);
+}
+
+RegionId CreateRegion_Chaos(const layout::Index* indices,
+                            layout::Index count) {
+  MC_REQUIRE(indices != nullptr || count == 0);
+  std::vector<layout::Index> ids(indices, indices + count);
+  ApiState& st = state();
+  const RegionId id = st.next++;
+  st.regions.emplace(id, core::Region::indices(std::move(ids)));
+  return id;
+}
+
+RegionId CreateRegion_PCXX(layout::Index lo, layout::Index hi,
+                           layout::Index stride) {
+  ApiState& st = state();
+  const RegionId id = st.next++;
+  st.regions.emplace(id, core::Region::range(lo, hi, stride));
+  return id;
+}
+
+SetId MC_NewSetOfRegion() {
+  ApiState& st = state();
+  const SetId id = st.next++;
+  st.sets.emplace(id, core::SetOfRegions{});
+  return id;
+}
+
+void MC_AddRegion2Set(RegionId region, SetId set) {
+  ApiState& st = state();
+  const core::Region& r = lookup(st.regions, region, "region");
+  lookup(st.sets, set, "set").add(r);
+}
+
+ObjectId MC_RegisterObject(core::DistObject obj) {
+  ApiState& st = state();
+  const ObjectId id = st.next++;
+  st.objects.emplace(id, std::move(obj));
+  return id;
+}
+
+SchedId MC_ComputeSched(transport::Comm& comm, ObjectId srcObj, SetId srcSet,
+                        ObjectId dstObj, SetId dstSet, core::Method method) {
+  ApiState& st = state();
+  core::McSchedule sched = core::computeSchedule(
+      comm, lookup(st.objects, srcObj, "object"),
+      lookup(st.sets, srcSet, "set"), lookup(st.objects, dstObj, "object"),
+      lookup(st.sets, dstSet, "set"), method);
+  const SchedId id = st.next++;
+  st.schedules.emplace(id, std::move(sched));
+  return id;
+}
+
+SchedId MC_ComputeSchedSend(transport::Comm& comm, ObjectId srcObj,
+                            SetId srcSet, int remoteProgram,
+                            core::Method method) {
+  ApiState& st = state();
+  core::McSchedule sched = core::computeScheduleSend(
+      comm, lookup(st.objects, srcObj, "object"),
+      lookup(st.sets, srcSet, "set"), remoteProgram, method);
+  const SchedId id = st.next++;
+  st.schedules.emplace(id, std::move(sched));
+  return id;
+}
+
+SchedId MC_ComputeSchedRecv(transport::Comm& comm, ObjectId dstObj,
+                            SetId dstSet, int remoteProgram,
+                            core::Method method) {
+  ApiState& st = state();
+  core::McSchedule sched = core::computeScheduleRecv(
+      comm, lookup(st.objects, dstObj, "object"),
+      lookup(st.sets, dstSet, "set"), remoteProgram, method);
+  const SchedId id = st.next++;
+  st.schedules.emplace(id, std::move(sched));
+  return id;
+}
+
+SchedId MC_ReverseSched(SchedId sched) {
+  ApiState& st = state();
+  core::McSchedule rev =
+      core::reverseSchedule(lookup(st.schedules, sched, "schedule"));
+  const SchedId id = st.next++;
+  st.schedules.emplace(id, std::move(rev));
+  return id;
+}
+
+const core::McSchedule& MC_GetSched(SchedId sched) {
+  return lookup(state().schedules, sched, "schedule");
+}
+
+void MC_FreeRegion(RegionId region) {
+  MC_REQUIRE(state().regions.erase(region) == 1, "unknown region handle %d",
+             region);
+}
+void MC_FreeSet(SetId set) {
+  MC_REQUIRE(state().sets.erase(set) == 1, "unknown set handle %d", set);
+}
+void MC_FreeObject(ObjectId obj) {
+  MC_REQUIRE(state().objects.erase(obj) == 1, "unknown object handle %d", obj);
+}
+void MC_FreeSched(SchedId sched) {
+  MC_REQUIRE(state().schedules.erase(sched) == 1,
+             "unknown schedule handle %d", sched);
+}
+
+void MC_Reset() { state() = ApiState{}; }
+
+}  // namespace mc::api

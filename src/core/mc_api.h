@@ -1,0 +1,120 @@
+// The Meta-Chaos applications-programmer interface (paper Section 4.2 and
+// the Figure 9 example).
+//
+// This facade mirrors the paper's handle-based C-style API on top of the
+// C++ core.  Handles are per-virtual-processor (each SPMD rank builds its
+// own, in the same collective order), matching the original library's SPMD
+// usage:
+//
+//   regionId = CreateRegion_HPF(2, Rleft, Rright);
+//   setId    = MC_NewSetOfRegion();
+//   MC_AddRegion2Set(regionId, setId);
+//   schedId  = MC_ComputeSchedSend(comm, objId, setId, remoteProgram);
+//   MC_DataMoveSend<double>(comm, schedId, data);
+//
+// The four CreateRegion_* functions stand for the constructors the paper
+// says each data parallel library's implementor provides.
+#pragma once
+
+#include "core/adapters/chaos_adapter.h"
+#include "core/adapters/hpf_adapter.h"
+#include "core/adapters/parti_adapter.h"
+#include "core/adapters/tulip_adapter.h"
+#include "core/data_move.h"
+
+namespace mc::api {
+
+using RegionId = int;
+using SetId = int;
+using ObjectId = int;
+using SchedId = int;
+
+// --- region constructors (one per library, as in the paper) ---------------
+
+/// HPF / Multiblock Parti: a regular array section lo:hi:stride per dim
+/// (hi inclusive; stride defaults to 1 when null).
+RegionId CreateRegion_HPF(int ndims, const layout::Index* lo,
+                          const layout::Index* hi,
+                          const layout::Index* stride = nullptr);
+RegionId CreateRegion_Parti(int ndims, const layout::Index* lo,
+                            const layout::Index* hi,
+                            const layout::Index* stride = nullptr);
+/// Chaos: an explicit set of global indices, in linearization order.
+RegionId CreateRegion_Chaos(const layout::Index* indices, layout::Index count);
+/// pC++: a range of collection elements.
+RegionId CreateRegion_PCXX(layout::Index lo, layout::Index hi,
+                           layout::Index stride = 1);
+
+// --- sets -------------------------------------------------------------------
+
+SetId MC_NewSetOfRegion();
+void MC_AddRegion2Set(RegionId region, SetId set);
+
+// --- distributed objects ------------------------------------------------------
+
+/// Registers a distribution descriptor under a handle.
+ObjectId MC_RegisterObject(core::DistObject obj);
+
+template <typename T>
+ObjectId MC_RegisterParti(const parti::BlockDistArray<T>& a) {
+  return MC_RegisterObject(core::PartiAdapter::describe(a));
+}
+template <typename T>
+ObjectId MC_RegisterHPF(const hpfrt::HpfArray<T>& a) {
+  return MC_RegisterObject(core::HpfAdapter::describe(a));
+}
+template <typename T>
+ObjectId MC_RegisterChaos(const chaos::IrregArray<T>& a) {
+  return MC_RegisterObject(core::ChaosAdapter::describe(a));
+}
+template <typename T>
+ObjectId MC_RegisterPCXX(const tulip::Collection<T>& c) {
+  return MC_RegisterObject(core::TulipAdapter::describe(c));
+}
+
+// --- schedules ----------------------------------------------------------------
+
+/// Intra-program schedule (both objects in the calling program); collective.
+SchedId MC_ComputeSched(transport::Comm& comm, ObjectId srcObj, SetId srcSet,
+                        ObjectId dstObj, SetId dstSet,
+                        core::Method method = core::Method::kCooperation);
+/// Inter-program halves; collective across both programs.
+SchedId MC_ComputeSchedSend(transport::Comm& comm, ObjectId srcObj,
+                            SetId srcSet, int remoteProgram,
+                            core::Method method = core::Method::kCooperation);
+SchedId MC_ComputeSchedRecv(transport::Comm& comm, ObjectId dstObj,
+                            SetId dstSet, int remoteProgram,
+                            core::Method method = core::Method::kCooperation);
+/// A new handle for the reversed schedule (paper: schedules are symmetric).
+SchedId MC_ReverseSched(SchedId sched);
+
+/// Access to the underlying schedule (for inspection / tests).
+const core::McSchedule& MC_GetSched(SchedId sched);
+
+// --- data movement --------------------------------------------------------------
+
+template <typename T>
+void MC_DataMove(transport::Comm& comm, SchedId sched, std::span<const T> src,
+                 std::span<T> dst) {
+  core::dataMove<T>(comm, MC_GetSched(sched), src, dst);
+}
+template <typename T>
+void MC_DataMoveSend(transport::Comm& comm, SchedId sched,
+                     std::span<const T> src) {
+  core::dataMoveSend<T>(comm, MC_GetSched(sched), src);
+}
+template <typename T>
+void MC_DataMoveRecv(transport::Comm& comm, SchedId sched, std::span<T> dst) {
+  core::dataMoveRecv<T>(comm, MC_GetSched(sched), dst);
+}
+
+// --- lifecycle --------------------------------------------------------------------
+
+void MC_FreeRegion(RegionId region);
+void MC_FreeSet(SetId set);
+void MC_FreeObject(ObjectId obj);
+void MC_FreeSched(SchedId sched);
+/// Drops every handle owned by the calling virtual processor.
+void MC_Reset();
+
+}  // namespace mc::api

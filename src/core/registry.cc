@@ -1,0 +1,79 @@
+#include "core/registry.h"
+
+#include <mutex>
+
+#include "core/adapters/chaos_adapter.h"
+#include "core/adapters/hpf_adapter.h"
+#include "core/adapters/parti_adapter.h"
+#include "core/adapters/tulip_adapter.h"
+
+namespace mc::core {
+
+std::vector<LinLoc> LibraryAdapter::enumerateOwned(
+    const DistObject& obj, const SetOfRegions& set,
+    transport::Comm& comm) const {
+  MC_REQUIRE(supportsLocalEnumeration(obj),
+             "library '%s' cannot enumerate ownership locally; the adapter "
+             "must override enumerateOwned",
+             name().c_str());
+  std::vector<LinLoc> out;
+  const int me = comm.rank();
+  enumerateAll(obj, set,
+               [&](layout::Index lin, int owner, layout::Index offset) {
+                 if (owner == me) out.push_back(LinLoc{lin, offset});
+               });
+  return out;  // enumerateAll visits in order, so `out` is sorted by lin
+}
+
+void LibraryAdapter::enumerateRange(
+    const DistObject& obj, const SetOfRegions& set, layout::Index linLo,
+    layout::Index linHi,
+    const std::function<void(layout::Index, int, layout::Index)>& fn) const {
+  MC_REQUIRE(supportsLocalEnumeration(obj),
+             "library '%s' cannot enumerate ownership locally",
+             name().c_str());
+  enumerateAll(obj, set, [&](layout::Index lin, int owner,
+                             layout::Index offset) {
+    if (lin >= linLo && lin < linHi) fn(lin, owner, offset);
+  });
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(std::unique_ptr<LibraryAdapter> adapter) {
+  MC_REQUIRE(adapter != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = adapter->name();
+  MC_REQUIRE(adapters_.find(key) == adapters_.end(),
+             "library '%s' is already registered", key.c_str());
+  adapters_.emplace(key, std::move(adapter));
+}
+
+bool Registry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return adapters_.find(name) != adapters_.end();
+}
+
+const LibraryAdapter& Registry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = adapters_.find(name);
+  MC_REQUIRE(it != adapters_.end(), "no adapter registered for library '%s'",
+             name.c_str());
+  return *it->second;
+}
+
+void registerBuiltinAdapters() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Registry& r = Registry::instance();
+    r.add(std::make_unique<PartiAdapter>());
+    r.add(std::make_unique<HpfAdapter>());
+    r.add(std::make_unique<ChaosAdapter>());
+    r.add(std::make_unique<TulipAdapter>());
+  });
+}
+
+}  // namespace mc::core

@@ -1,0 +1,692 @@
+#include "core/schedule_builder.h"
+
+#include <cstring>
+
+namespace mc::core {
+
+using layout::Index;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire formats.
+//
+// The cooperation method ships ownership information and marching orders
+// between processors.  All streams are run-length encoded with strides:
+// regular data produces long arithmetic runs (whole section rows), so the
+// shipped volume stays proportional to the number of *blocks*, not the
+// number of elements — matching the compact descriptors the original
+// Meta-Chaos shipped for regular sections.  Fully irregular data degrades
+// to count-1 runs, whose cost profile the paper's Chaos experiments show.
+// ---------------------------------------------------------------------------
+
+/// Ownership of a run of linearization positions [lin, lin+count), owned by
+/// the sending processor, at offsets off + k*offStride.
+struct InfoRun {
+  Index lin;
+  Index off;
+  Index count;
+  Index offStride;
+};
+
+/// A source processor's marching order: `count` elements packed from
+/// srcOff + k*srcStride going to dstOwner at dstOff + k*dstStride (the
+/// destination offsets matter only for processor-local transfers).
+struct SendRun {
+  Index srcOff;
+  Index dstOff;
+  Index count;
+  Index srcStride;
+  Index dstStride;
+  Index dstOwner;
+};
+
+/// A destination processor's marching order: `count` elements from srcOwner
+/// unpacked into dstOff + k*dstStride.
+struct RecvRun {
+  Index dstOff;
+  Index count;
+  Index dstStride;
+  Index srcOwner;
+};
+
+const LibraryAdapter& adapterFor(const DistObject& obj) {
+  registerBuiltinAdapters();
+  return Registry::instance().get(obj.library());
+}
+
+/// Cross-program personalized all-to-all.  Collective over *both* programs:
+/// each processor passes one buffer per remote rank and receives one from
+/// each.  Pairing relies on both programs making matching calls in order.
+template <typename T>
+std::vector<std::vector<T>> interAlltoall(
+    transport::Comm& comm, int remoteProgram,
+    const std::vector<std::vector<T>>& sendTo) {
+  const int tag = comm.nextInterTag(remoteProgram);
+  const int rp = comm.programInfo(remoteProgram).nprocs;
+  MC_REQUIRE(static_cast<int>(sendTo.size()) == rp,
+             "interAlltoall needs one lane per remote rank (%d), got %zu", rp,
+             sendTo.size());
+  for (int r = 0; r < rp; ++r) {
+    comm.sendTo(remoteProgram, r, tag, sendTo[static_cast<size_t>(r)]);
+  }
+  std::vector<std::vector<T>> out(static_cast<size_t>(rp));
+  for (int r = 0; r < rp; ++r) {
+    out[static_cast<size_t>(r)] = comm.recvFrom<T>(remoteProgram, r, tag);
+  }
+  return out;
+}
+
+/// Routes a processor's owned elements into per-chunk InfoRun streams
+/// (runs never cross chunk boundaries).
+std::vector<std::vector<InfoRun>> routeToChunks(
+    const std::vector<LinLoc>& owned, Index chunk, int nChunks) {
+  std::vector<std::vector<InfoRun>> to(static_cast<size_t>(nChunks));
+  for (const LinLoc& ll : owned) {
+    auto& lane = to[static_cast<size_t>(ll.lin / chunk)];
+    if (!lane.empty()) {
+      InfoRun& run = lane.back();
+      if (run.lin + run.count == ll.lin &&
+          (run.lin / chunk) == (ll.lin / chunk)) {
+        if (run.count == 1) {
+          run.offStride = ll.offset - run.off;
+          ++run.count;
+          continue;
+        }
+        if (ll.offset == run.off + run.count * run.offStride) {
+          ++run.count;
+          continue;
+        }
+      }
+    }
+    lane.push_back(InfoRun{ll.lin, ll.offset, 1, 0});
+  }
+  return to;
+}
+
+/// One chunk's joined ownership table.
+struct ChunkInfo {
+  Index lo = 0;
+  Index size = 0;
+  // at[k] = {owner, offset} for position lo + k; owner -1 = unset.
+  std::vector<int> owner;
+  std::vector<Index> offset;
+
+  explicit ChunkInfo(Index lo_, Index size_)
+      : lo(lo_),
+        size(size_),
+        owner(static_cast<size_t>(size_), -1),
+        offset(static_cast<size_t>(size_), 0) {}
+
+  void put(Index lin, int who, Index off, const char* side) {
+    MC_REQUIRE(lin >= lo && lin < lo + size,
+               "%s element at position %lld routed to the wrong chunk", side,
+               static_cast<long long>(lin));
+    const auto k = static_cast<size_t>(lin - lo);
+    MC_REQUIRE(owner[k] == -1, "%s linearization visits position %lld twice",
+               side, static_cast<long long>(lin));
+    owner[k] = who;
+    offset[k] = off;
+  }
+
+  void fillFromRuns(const std::vector<std::vector<InfoRun>>& rows,
+                    const char* side) {
+    for (size_t sender = 0; sender < rows.size(); ++sender) {
+      for (const InfoRun& run : rows[sender]) {
+        for (Index k = 0; k < run.count; ++k) {
+          put(run.lin + k, static_cast<int>(sender),
+              run.off + k * run.offStride, side);
+        }
+      }
+    }
+  }
+
+  void checkComplete(const char* side) const {
+    for (Index k = 0; k < size; ++k) {
+      MC_REQUIRE(owner[static_cast<size_t>(k)] != -1,
+                 "%s linearization skips position %lld", side,
+                 static_cast<long long>(lo + k));
+    }
+  }
+};
+
+/// Extends or starts a SendRun in `lane`.
+void emitSend(std::vector<SendRun>& lane, Index srcOff, Index dstOff,
+              Index dstOwner) {
+  if (!lane.empty()) {
+    SendRun& run = lane.back();
+    if (run.dstOwner == dstOwner) {
+      if (run.count == 1) {
+        run.srcStride = srcOff - run.srcOff;
+        run.dstStride = dstOff - run.dstOff;
+        ++run.count;
+        return;
+      }
+      if (srcOff == run.srcOff + run.count * run.srcStride &&
+          dstOff == run.dstOff + run.count * run.dstStride) {
+        ++run.count;
+        return;
+      }
+    }
+  }
+  lane.push_back(SendRun{srcOff, dstOff, 1, 0, 0, dstOwner});
+}
+
+/// Extends or starts a RecvRun in `lane`.
+void emitRecv(std::vector<RecvRun>& lane, Index dstOff, Index srcOwner) {
+  if (!lane.empty()) {
+    RecvRun& run = lane.back();
+    if (run.srcOwner == srcOwner) {
+      if (run.count == 1) {
+        run.dstStride = dstOff - run.dstOff;
+        ++run.count;
+        return;
+      }
+      if (dstOff == run.dstOff + run.count * run.dstStride) {
+        ++run.count;
+        return;
+      }
+    }
+  }
+  lane.push_back(RecvRun{dstOff, 1, 0, srcOwner});
+}
+
+/// Expands received SendRun rows into the schedule's send plans (and local
+/// pairs when allowed); rows arrive chunk-ordered, so per-peer offsets stay
+/// in linearization order.
+void assembleSends(const std::vector<std::vector<SendRun>>& rows, int me,
+                   bool allowLocal, sched::Schedule& plan) {
+  std::vector<std::vector<Index>> byPeer;
+  for (const auto& row : rows) {
+    for (const SendRun& run : row) {
+      if (allowLocal && run.dstOwner == me) {
+        for (Index k = 0; k < run.count; ++k) {
+          plan.localPairs.emplace_back(run.srcOff + k * run.srcStride,
+                                       run.dstOff + k * run.dstStride);
+        }
+        continue;
+      }
+      if (byPeer.size() <= static_cast<size_t>(run.dstOwner)) {
+        byPeer.resize(static_cast<size_t>(run.dstOwner) + 1);
+      }
+      auto& offsets = byPeer[static_cast<size_t>(run.dstOwner)];
+      for (Index k = 0; k < run.count; ++k) {
+        offsets.push_back(run.srcOff + k * run.srcStride);
+      }
+    }
+  }
+  for (size_t p = 0; p < byPeer.size(); ++p) {
+    if (byPeer[p].empty()) continue;
+    plan.sends.push_back(
+        sched::OffsetPlan{static_cast<int>(p), std::move(byPeer[p])});
+  }
+}
+
+void assembleRecvs(const std::vector<std::vector<RecvRun>>& rows,
+                   sched::Schedule& plan) {
+  std::vector<std::vector<Index>> byPeer;
+  for (const auto& row : rows) {
+    for (const RecvRun& run : row) {
+      if (byPeer.size() <= static_cast<size_t>(run.srcOwner)) {
+        byPeer.resize(static_cast<size_t>(run.srcOwner) + 1);
+      }
+      auto& offsets = byPeer[static_cast<size_t>(run.srcOwner)];
+      for (Index k = 0; k < run.count; ++k) {
+        offsets.push_back(run.dstOff + k * run.dstStride);
+      }
+    }
+  }
+  for (size_t p = 0; p < byPeer.size(); ++p) {
+    if (byPeer[p].empty()) continue;
+    plan.recvs.push_back(
+        sched::OffsetPlan{static_cast<int>(p), std::move(byPeer[p])});
+  }
+}
+
+/// Obtains one side's ownership info for this processor's chunk.  When the
+/// descriptor is locally enumerable the chunk owner computes it directly
+/// (no communication); otherwise the side performs the collective
+/// owned-elements enumeration and routes the results to chunk owners
+/// (Chaos with a distributed table — the expensive path the paper
+/// measures).  Must be called by every processor of the program in either
+/// case.
+ChunkInfo chunkInfoIntra(transport::Comm& comm, const LibraryAdapter& lib,
+                         const DistObject& obj, const SetOfRegions& set,
+                         Index n, Index chunk, const char* side) {
+  const int me = comm.rank();
+  const Index lo = chunk * me;
+  const Index size = std::max<Index>(0, std::min(n, lo + chunk) - lo);
+  ChunkInfo info(lo, size);
+  if (lib.supportsLocalEnumeration(obj)) {
+    comm.compute([&] {
+      lib.enumerateRange(obj, set, lo, lo + size,
+                         [&](Index lin, int owner, Index off) {
+                           info.put(lin, owner, off, side);
+                         });
+    });
+  } else {
+    const std::vector<LinLoc> owned = lib.enumerateOwned(obj, set, comm);
+    auto rows = comm.alltoall(comm.computeValue(
+        [&] { return routeToChunks(owned, chunk, comm.size()); }));
+    comm.compute([&] { info.fillFromRuns(rows, side); });
+  }
+  comm.compute([&] { info.checkComplete(side); });
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Intra-program builds
+// ---------------------------------------------------------------------------
+
+McSchedule buildIntraCooperation(transport::Comm& comm,
+                                 const LibraryAdapter& srcLib,
+                                 const DistObject& srcObj,
+                                 const SetOfRegions& srcSet,
+                                 const LibraryAdapter& dstLib,
+                                 const DistObject& dstObj,
+                                 const SetOfRegions& dstSet, Index n) {
+  McSchedule out;
+  out.numElements = n;
+  out.plan.bufferLocalCopies = false;
+  const int np = comm.size();
+  const int me = comm.rank();
+  const Index chunk = (n + np - 1) / np;
+
+  const ChunkInfo src =
+      chunkInfoIntra(comm, srcLib, srcObj, srcSet, n, chunk, "source");
+  const ChunkInfo dst =
+      chunkInfoIntra(comm, dstLib, dstObj, dstSet, n, chunk, "destination");
+
+  // Join and emit marching orders for the processors that own the data.
+  std::vector<std::vector<SendRun>> sendTo(static_cast<size_t>(np));
+  std::vector<std::vector<RecvRun>> recvTo(static_cast<size_t>(np));
+  comm.compute([&] {
+    for (Index k = 0; k < src.size; ++k) {
+      const auto kk = static_cast<size_t>(k);
+      const int sOwner = src.owner[kk];
+      const int dOwner = dst.owner[kk];
+      emitSend(sendTo[static_cast<size_t>(sOwner)], src.offset[kk],
+               dst.offset[kk], dOwner);
+      if (dOwner != sOwner) {
+        emitRecv(recvTo[static_cast<size_t>(dOwner)], dst.offset[kk], sOwner);
+      }
+    }
+  });
+  auto mySends = comm.alltoall(sendTo);
+  auto myRecvs = comm.alltoall(recvTo);
+  comm.compute([&] {
+    assembleSends(mySends, me, /*allowLocal=*/true, out.plan);
+    assembleRecvs(myRecvs, out.plan);
+  });
+  return out;
+}
+
+McSchedule buildIntraDuplication(transport::Comm& comm,
+                                 const LibraryAdapter& srcLib,
+                                 const DistObject& srcObj,
+                                 const SetOfRegions& srcSet,
+                                 const LibraryAdapter& dstLib,
+                                 const DistObject& dstObj,
+                                 const SetOfRegions& dstSet, Index n) {
+  MC_REQUIRE(srcLib.supportsLocalEnumeration(srcObj) &&
+                 dstLib.supportsLocalEnumeration(dstObj),
+             "the duplication method requires locally enumerable "
+             "descriptors on both sides; use cooperation instead");
+  McSchedule out;
+  out.numElements = n;
+  out.plan.bufferLocalCopies = false;
+  // Duplication pays the library dereference machinery twice over the set
+  // (paper Section 5.1), the work split across processors.
+  comm.advance(2.0 *
+               (srcLib.modeledElementDereferenceCost(srcObj) +
+                dstLib.modeledElementDereferenceCost(dstObj)) *
+               static_cast<double>(n) / comm.size());
+  const int me = comm.rank();
+  comm.compute([&] {
+    // Two full ownership passes per processor — the 2x dereference cost the
+    // paper attributes to duplication — and no communication at all.
+    std::vector<int> srcOwner(static_cast<size_t>(n));
+    std::vector<Index> srcOff(static_cast<size_t>(n));
+    std::vector<int> dstOwner(static_cast<size_t>(n));
+    std::vector<Index> dstOff(static_cast<size_t>(n));
+    srcLib.enumerateAll(srcObj, srcSet, [&](Index lin, int owner, Index off) {
+      srcOwner[static_cast<size_t>(lin)] = owner;
+      srcOff[static_cast<size_t>(lin)] = off;
+    });
+    dstLib.enumerateAll(dstObj, dstSet, [&](Index lin, int owner, Index off) {
+      dstOwner[static_cast<size_t>(lin)] = owner;
+      dstOff[static_cast<size_t>(lin)] = off;
+    });
+    std::vector<std::vector<Index>> sendBy;
+    std::vector<std::vector<Index>> recvBy;
+    for (Index lin = 0; lin < n; ++lin) {
+      const auto ll = static_cast<size_t>(lin);
+      const int s = srcOwner[ll];
+      const int d = dstOwner[ll];
+      if (s == me && d == me) {
+        out.plan.localPairs.emplace_back(srcOff[ll], dstOff[ll]);
+      } else if (s == me) {
+        if (sendBy.size() <= static_cast<size_t>(d)) {
+          sendBy.resize(static_cast<size_t>(d) + 1);
+        }
+        sendBy[static_cast<size_t>(d)].push_back(srcOff[ll]);
+      } else if (d == me) {
+        if (recvBy.size() <= static_cast<size_t>(s)) {
+          recvBy.resize(static_cast<size_t>(s) + 1);
+        }
+        recvBy[static_cast<size_t>(s)].push_back(dstOff[ll]);
+      }
+    }
+    for (size_t p = 0; p < sendBy.size(); ++p) {
+      if (!sendBy[p].empty()) {
+        out.plan.sends.push_back(
+            sched::OffsetPlan{static_cast<int>(p), std::move(sendBy[p])});
+      }
+    }
+    for (size_t p = 0; p < recvBy.size(); ++p) {
+      if (!recvBy[p].empty()) {
+        out.plan.recvs.push_back(
+            sched::OffsetPlan{static_cast<int>(p), std::move(recvBy[p])});
+      }
+    }
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Inter-program builds
+// ---------------------------------------------------------------------------
+
+/// Wire bundle for the duplication method: library name + descriptor + set.
+std::vector<std::byte> packRemoteBundle(const LibraryAdapter& lib,
+                                        const DistObject& obj,
+                                        const SetOfRegions& set,
+                                        transport::Comm& comm) {
+  const std::string name = lib.name();
+  const std::vector<std::byte> desc = lib.serializeDesc(obj, comm);
+  const std::vector<std::byte> setBytes = serializeSet(set);
+  std::vector<std::byte> out;
+  auto putU64 = [&out](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    out.insert(out.end(), p, p + sizeof(v));
+  };
+  putU64(name.size());
+  const auto* np = reinterpret_cast<const std::byte*>(name.data());
+  out.insert(out.end(), np, np + name.size());
+  putU64(desc.size());
+  out.insert(out.end(), desc.begin(), desc.end());
+  putU64(setBytes.size());
+  out.insert(out.end(), setBytes.begin(), setBytes.end());
+  return out;
+}
+
+std::pair<DistObject, SetOfRegions> unpackRemoteBundle(
+    std::span<const std::byte> bytes) {
+  size_t pos = 0;
+  auto getU64 = [&]() {
+    MC_REQUIRE(pos + sizeof(std::uint64_t) <= bytes.size(),
+               "truncated remote bundle");
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + pos, sizeof(v));
+    pos += sizeof(v);
+    return v;
+  };
+  const std::uint64_t nameLen = getU64();
+  MC_REQUIRE(pos + nameLen <= bytes.size(), "truncated remote bundle");
+  std::string name(reinterpret_cast<const char*>(bytes.data() + pos), nameLen);
+  pos += nameLen;
+  const std::uint64_t descLen = getU64();
+  MC_REQUIRE(pos + descLen <= bytes.size(), "truncated remote bundle");
+  registerBuiltinAdapters();
+  const LibraryAdapter& lib = Registry::instance().get(name);
+  DistObject obj = lib.deserializeDesc(bytes.subspan(pos, descLen));
+  pos += descLen;
+  const std::uint64_t setLen = getU64();
+  MC_REQUIRE(pos + setLen == bytes.size(), "truncated remote bundle");
+  SetOfRegions set = deserializeSet(bytes.subspan(pos, setLen));
+  return {std::move(obj), std::move(set)};
+}
+
+/// Exchanges a byte blob with the remote program (rank 0 <-> rank 0, then
+/// broadcast within each program).  Collective over both programs.
+std::vector<std::byte> exchangeBlob(transport::Comm& comm, int remoteProgram,
+                                    const std::vector<std::byte>& mine) {
+  const int tag = comm.nextInterTag(remoteProgram);
+  std::vector<std::byte> theirs;
+  if (comm.rank() == 0) {
+    comm.sendBytesTo(remoteProgram, 0, tag, mine);
+    theirs = comm.recvMsgFrom(remoteProgram, 0, tag).payload;
+  }
+  comm.bcastBytes(theirs, 0);
+  return theirs;
+}
+
+/// Verifies both sides agree on the element count.
+void handshakeCount(transport::Comm& comm, int remoteProgram, Index n) {
+  const int tag = comm.nextInterTag(remoteProgram);
+  if (comm.rank() == 0) {
+    comm.sendValueTo(remoteProgram, 0, tag, n);
+    const Index other = comm.recvValueFrom<Index>(remoteProgram, 0, tag);
+    MC_REQUIRE(other == n,
+               "source and destination sets differ in size (%lld vs %lld)",
+               static_cast<long long>(n), static_cast<long long>(other));
+  }
+  comm.barrier();  // everyone learns that the check passed (or the world died)
+}
+
+McSchedule buildInterCooperationSend(transport::Comm& comm,
+                                     const LibraryAdapter& srcLib,
+                                     const DistObject& srcObj,
+                                     const SetOfRegions& srcSet,
+                                     int remoteProgram) {
+  McSchedule out;
+  out.remoteProgram = remoteProgram;
+  out.isSender = true;
+  out.plan.bufferLocalCopies = false;
+  const Index n = srcSet.numElements();
+  out.numElements = n;
+  handshakeCount(comm, remoteProgram, n);
+
+  // Ship my ownership info to the destination-side chunk owners (the
+  // destination program cannot see my descriptor, so this shipping always
+  // happens — compactly, thanks to the run encoding).
+  const int pd = comm.programInfo(remoteProgram).nprocs;
+  const Index chunk = (n + pd - 1) / pd;
+  const std::vector<LinLoc> srcOwned = srcLib.enumerateOwned(srcObj, srcSet, comm);
+  auto srcInfoTo =
+      comm.computeValue([&] { return routeToChunks(srcOwned, chunk, pd); });
+  (void)interAlltoall(comm, remoteProgram, srcInfoTo);
+
+  // Receive my marching orders back.
+  const std::vector<std::vector<SendRun>> empty(static_cast<size_t>(pd));
+  auto mySends = interAlltoall(comm, remoteProgram, empty);
+  comm.compute([&] {
+    assembleSends(mySends, comm.rank(), /*allowLocal=*/false, out.plan);
+  });
+  return out;
+}
+
+McSchedule buildInterCooperationRecv(transport::Comm& comm,
+                                     const LibraryAdapter& dstLib,
+                                     const DistObject& dstObj,
+                                     const SetOfRegions& dstSet,
+                                     int remoteProgram) {
+  McSchedule out;
+  out.remoteProgram = remoteProgram;
+  out.isSender = false;
+  out.plan.bufferLocalCopies = false;
+  const Index n = dstSet.numElements();
+  out.numElements = n;
+  handshakeCount(comm, remoteProgram, n);
+
+  const int me = comm.rank();
+  const int np = comm.size();  // destination program owns the chunks
+  const int ps = comm.programInfo(remoteProgram).nprocs;
+  const Index chunk = (n + np - 1) / np;
+
+  // Source ownership info arrives from the remote program.
+  const std::vector<std::vector<InfoRun>> emptyInfo(static_cast<size_t>(ps));
+  auto srcRows = interAlltoall(comm, remoteProgram, emptyInfo);
+  const Index lo = chunk * me;
+  const Index size = std::max<Index>(0, std::min(n, lo + chunk) - lo);
+  ChunkInfo src(lo, size);
+  comm.compute([&] {
+    src.fillFromRuns(srcRows, "source");
+    src.checkComplete("source");
+  });
+  // Destination ownership info for my chunk.
+  const ChunkInfo dst =
+      chunkInfoIntra(comm, dstLib, dstObj, dstSet, n, chunk, "destination");
+
+  // Join; ship send plans to the remote program, recv plans to my own.
+  std::vector<std::vector<SendRun>> sendTo(static_cast<size_t>(ps));
+  std::vector<std::vector<RecvRun>> recvTo(static_cast<size_t>(np));
+  comm.compute([&] {
+    for (Index k = 0; k < size; ++k) {
+      const auto kk = static_cast<size_t>(k);
+      // Cross-program: every pairing yields a send and a recv record (the
+      // rank spaces of the two programs are distinct).
+      emitSend(sendTo[static_cast<size_t>(src.owner[kk])], src.offset[kk],
+               dst.offset[kk], dst.owner[kk]);
+      emitRecv(recvTo[static_cast<size_t>(dst.owner[kk])], dst.offset[kk],
+               src.owner[kk]);
+    }
+  });
+  (void)interAlltoall(comm, remoteProgram, sendTo);
+  auto myRecvs = comm.alltoall(recvTo);
+  comm.compute([&] { assembleRecvs(myRecvs, out.plan); });
+  return out;
+}
+
+McSchedule buildInterDuplication(transport::Comm& comm,
+                                 const LibraryAdapter& myLib,
+                                 const DistObject& myObj,
+                                 const SetOfRegions& mySet,
+                                 int remoteProgram, bool isSender) {
+  MC_REQUIRE(myLib.supportsLocalEnumeration(myObj),
+             "the duplication method requires locally enumerable "
+             "descriptors; use cooperation instead");
+  McSchedule out;
+  out.remoteProgram = remoteProgram;
+  out.isSender = isSender;
+  out.plan.bufferLocalCopies = false;
+  const Index n = mySet.numElements();
+  out.numElements = n;
+  handshakeCount(comm, remoteProgram, n);
+
+  // Ship descriptors + sets both ways, then work entirely locally.
+  const std::vector<std::byte> mine =
+      packRemoteBundle(myLib, myObj, mySet, comm);
+  const std::vector<std::byte> theirsBytes =
+      exchangeBlob(comm, remoteProgram, mine);
+  auto [remoteObj, remoteSet] = unpackRemoteBundle(theirsBytes);
+  const LibraryAdapter& remoteLib = adapterFor(remoteObj);
+  MC_REQUIRE(remoteSet.numElements() == n,
+             "remote set size %lld != local %lld",
+             static_cast<long long>(remoteSet.numElements()),
+             static_cast<long long>(n));
+  comm.advance(2.0 *
+               (myLib.modeledElementDereferenceCost(myObj) +
+                remoteLib.modeledElementDereferenceCost(remoteObj)) *
+               static_cast<double>(n) / comm.size());
+
+  const int me = comm.rank();
+  comm.compute([&] {
+    std::vector<int> myOwner(static_cast<size_t>(n));
+    std::vector<Index> myOff(static_cast<size_t>(n));
+    std::vector<int> theirOwner(static_cast<size_t>(n));
+    std::vector<Index> theirOff(static_cast<size_t>(n));
+    myLib.enumerateAll(myObj, mySet, [&](Index lin, int owner, Index off) {
+      myOwner[static_cast<size_t>(lin)] = owner;
+      myOff[static_cast<size_t>(lin)] = off;
+    });
+    remoteLib.enumerateAll(remoteObj, remoteSet,
+                           [&](Index lin, int owner, Index off) {
+                             theirOwner[static_cast<size_t>(lin)] = owner;
+                             theirOff[static_cast<size_t>(lin)] = off;
+                           });
+    std::vector<std::vector<Index>> byPeer;
+    for (Index lin = 0; lin < n; ++lin) {
+      const auto ll = static_cast<size_t>(lin);
+      if (myOwner[ll] != me) continue;
+      const int peer = theirOwner[ll];
+      if (byPeer.size() <= static_cast<size_t>(peer)) {
+        byPeer.resize(static_cast<size_t>(peer) + 1);
+      }
+      // Senders pack their own (source) offsets; receivers unpack into
+      // their own (destination) offsets.
+      byPeer[static_cast<size_t>(peer)].push_back(myOff[ll]);
+      (void)theirOff;
+    }
+    for (size_t p = 0; p < byPeer.size(); ++p) {
+      if (byPeer[p].empty()) continue;
+      sched::OffsetPlan plan{static_cast<int>(p), std::move(byPeer[p])};
+      if (isSender) {
+        out.plan.sends.push_back(std::move(plan));
+      } else {
+        out.plan.recvs.push_back(std::move(plan));
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+McSchedule computeSchedule(transport::Comm& comm, const DistObject& srcObj,
+                           const SetOfRegions& srcSet,
+                           const DistObject& dstObj,
+                           const SetOfRegions& dstSet, Method method) {
+  const LibraryAdapter& srcLib = adapterFor(srcObj);
+  const LibraryAdapter& dstLib = adapterFor(dstObj);
+  srcLib.validate(srcObj, srcSet);
+  dstLib.validate(dstObj, dstSet);
+  const Index n = srcSet.numElements();
+  MC_REQUIRE(n == dstSet.numElements(),
+             "source and destination sets differ in size (%lld vs %lld)",
+             static_cast<long long>(n),
+             static_cast<long long>(dstSet.numElements()));
+  if (method == Method::kDuplication) {
+    return buildIntraDuplication(comm, srcLib, srcObj, srcSet, dstLib, dstObj,
+                                 dstSet, n);
+  }
+  return buildIntraCooperation(comm, srcLib, srcObj, srcSet, dstLib, dstObj,
+                               dstSet, n);
+}
+
+McSchedule computeScheduleSend(transport::Comm& comm, const DistObject& srcObj,
+                               const SetOfRegions& srcSet, int remoteProgram,
+                               Method method) {
+  const LibraryAdapter& srcLib = adapterFor(srcObj);
+  srcLib.validate(srcObj, srcSet);
+  if (method == Method::kDuplication) {
+    return buildInterDuplication(comm, srcLib, srcObj, srcSet, remoteProgram,
+                                 /*isSender=*/true);
+  }
+  return buildInterCooperationSend(comm, srcLib, srcObj, srcSet,
+                                   remoteProgram);
+}
+
+McSchedule computeScheduleRecv(transport::Comm& comm, const DistObject& dstObj,
+                               const SetOfRegions& dstSet, int remoteProgram,
+                               Method method) {
+  const LibraryAdapter& dstLib = adapterFor(dstObj);
+  dstLib.validate(dstObj, dstSet);
+  if (method == Method::kDuplication) {
+    return buildInterDuplication(comm, dstLib, dstObj, dstSet, remoteProgram,
+                                 /*isSender=*/false);
+  }
+  return buildInterCooperationRecv(comm, dstLib, dstObj, dstSet,
+                                   remoteProgram);
+}
+
+McSchedule reverseSchedule(const McSchedule& sched) {
+  McSchedule out;
+  out.plan = sched::reverse(sched.plan);
+  out.numElements = sched.numElements;
+  out.remoteProgram = sched.remoteProgram;
+  out.isSender = sched.remoteProgram >= 0 ? !sched.isSender : false;
+  return out;
+}
+
+}  // namespace mc::core

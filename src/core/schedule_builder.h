@@ -1,0 +1,76 @@
+// Meta-Chaos communication-schedule computation (paper Sections 4.1.3,
+// Figure 8).
+//
+// Given a source SetOfRegions (data distributed by library X) and a
+// destination SetOfRegions (library Y) with equal element counts, the
+// builder pairs element i of the source linearization with element i of the
+// destination linearization and derives, for every processor, which
+// elements to send where / receive whence — aggregated to at most one
+// message per processor pair.
+//
+// Two build methods, as in the paper (Section 5.1):
+//
+//  * duplication — every processor holds (or has been shipped) both
+//    distribution descriptors, enumerates *both* linearizations locally,
+//    and extracts its own plans.  No communication during the build, but
+//    the ownership computation runs twice (hence ~2x the dereference cost
+//    in Table 2), and for Chaos the descriptor itself is huge.
+//
+//  * cooperation — the source side enumerates only source ownership, the
+//    destination side only destination ownership; the halves are joined at
+//    the destination side (each destination processor owns a contiguous
+//    chunk of linearization positions), which then returns each source
+//    processor its send plan.  One ownership pass per side, at the price of
+//    some build-time communication.
+//
+// Both intra-program builds (one program, two libraries) and inter-program
+// builds (source and destination in different programs) are supported; all
+// builds are collective over every program involved.
+#pragma once
+
+#include "core/adapter.h"
+#include "core/registry.h"
+#include "sched/schedule.h"
+
+namespace mc::core {
+
+enum class Method { kCooperation, kDuplication };
+
+/// A Meta-Chaos communication schedule.  Sends' offsets index the local
+/// source buffer; recvs' offsets index the local destination buffer; local
+/// pairs (intra-program only) copy directly — Meta-Chaos never stages local
+/// transfers through an intermediate buffer (Section 5.3).
+struct McSchedule {
+  sched::Schedule plan;
+  layout::Index numElements = 0;
+  /// -1 for intra-program schedules; otherwise the peer program id (send
+  /// plans target its ranks).
+  int remoteProgram = -1;
+  bool isSender = false;  ///< inter-program only: which side this half is
+};
+
+/// Intra-program build: both data structures live in the calling program.
+/// Collective over the program.
+McSchedule computeSchedule(transport::Comm& comm, const DistObject& srcObj,
+                           const SetOfRegions& srcSet,
+                           const DistObject& dstObj,
+                           const SetOfRegions& dstSet,
+                           Method method = Method::kCooperation);
+
+/// Inter-program build, source side: the calling program owns the source
+/// data; the destination program (`remoteProgram`) must concurrently call
+/// computeScheduleRecv.  Collective over both programs.
+McSchedule computeScheduleSend(transport::Comm& comm, const DistObject& srcObj,
+                               const SetOfRegions& srcSet, int remoteProgram,
+                               Method method = Method::kCooperation);
+
+/// Inter-program build, destination side.
+McSchedule computeScheduleRecv(transport::Comm& comm, const DistObject& dstObj,
+                               const SetOfRegions& dstSet, int remoteProgram,
+                               Method method = Method::kCooperation);
+
+/// Reverses a schedule: the same schedule then copies data the other way
+/// (paper Section 4.3: "the communication schedule is also symmetric").
+McSchedule reverseSchedule(const McSchedule& sched);
+
+}  // namespace mc::core

@@ -1,0 +1,72 @@
+// HpfArray: a distributed array managed by the HPF runtime.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hpfrt/dist.h"
+#include "transport/comm.h"
+
+namespace mc::hpfrt {
+
+template <typename T>
+class HpfArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// Collective constructor; all processors pass an identical distribution.
+  HpfArray(transport::Comm& comm, HpfDist dist)
+      : comm_(&comm), dist_(std::move(dist)) {
+    MC_REQUIRE(dist_.nprocs() == comm.size(),
+               "distribution is over %d processors but the program has %d",
+               dist_.nprocs(), comm.size());
+    data_.assign(
+        static_cast<size_t>(dist_.localShape(comm.rank()).numElements()), T{});
+  }
+
+  transport::Comm& comm() const { return *comm_; }
+  const HpfDist& dist() const { return dist_; }
+  const layout::Shape& globalShape() const { return dist_.globalShape(); }
+
+  std::span<T> raw() { return data_; }
+  std::span<const T> raw() const { return data_; }
+
+  /// Access by global point; the point must be owned by this processor.
+  T& at(const layout::Point& p) {
+    return data_[static_cast<size_t>(dist_.localOffset(comm_->rank(), p))];
+  }
+  const T& at(const layout::Point& p) const {
+    return data_[static_cast<size_t>(dist_.localOffset(comm_->rank(), p))];
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Sets every owned element to fn(globalPoint).
+  template <typename F>
+  void fillByPoint(F&& fn) {
+    dist_.forEachOwned(comm_->rank(),
+                       [&](const layout::Point& p, layout::Index off) {
+                         data_[static_cast<size_t>(off)] = fn(p);
+                       });
+  }
+
+  /// Collective test/debug oracle: the full array (row-major) everywhere.
+  std::vector<T> gatherGlobal() const {
+    auto rows = comm_->allgather<T>(std::span<const T>(data_));
+    std::vector<T> out(static_cast<size_t>(globalShape().numElements()), T{});
+    for (int proc = 0; proc < comm_->size(); ++proc) {
+      dist_.forEachOwned(proc, [&](const layout::Point& p, layout::Index off) {
+        out[static_cast<size_t>(rowMajorOffset(globalShape(), p))] =
+            rows[static_cast<size_t>(proc)][static_cast<size_t>(off)];
+      });
+    }
+    return out;
+  }
+
+ private:
+  transport::Comm* comm_;
+  HpfDist dist_;
+  std::vector<T> data_;
+};
+
+}  // namespace mc::hpfrt

@@ -1,0 +1,71 @@
+// Distributed matrix–vector multiply: the HPF computational server of the
+// paper's Section 5.4.
+//
+// The matrix is distributed (BLOCK, *) — rows blocked over all processors,
+// columns on-processor — and the operand/result vectors are BLOCK
+// distributed.  One multiply is:
+//   1. allgather the operand vector (internal communication that grows with
+//      the processor count — the reason the paper's HPF server stops
+//      speeding up beyond 8 processes),
+//   2. local dense dgemv over the owned row block,
+//   3. the result vector is naturally BLOCK distributed by rows.
+#pragma once
+
+#include "hpfrt/hpf_array.h"
+
+namespace mc::hpfrt {
+
+/// The canonical server-side distributions for an n x n matvec on `nprocs`.
+inline HpfDist matvecMatrixDist(layout::Index n, int nprocs) {
+  return HpfDist(layout::Shape::of({n, n}),
+                 {DimDist{DistKind::kBlock, nprocs, 1},
+                  DimDist{DistKind::kBlock, 1, 1}});
+}
+inline HpfDist matvecVectorDist(layout::Index n, int nprocs) {
+  return HpfDist(layout::Shape::of({n}),
+                 {DimDist{DistKind::kBlock, nprocs, 1}});
+}
+
+/// y = A * x (collective).  A must be (BLOCK, *) and x, y BLOCK with the
+/// same processor count; y's distribution must match A's row distribution.
+template <typename T>
+void matvec(const HpfArray<T>& A, const HpfArray<T>& x, HpfArray<T>& y) {
+  transport::Comm& comm = A.comm();
+  MC_REQUIRE(A.globalShape().rank == 2 && x.globalShape().rank == 1 &&
+             y.globalShape().rank == 1);
+  const layout::Index n = A.globalShape()[1];
+  MC_REQUIRE(x.globalShape()[0] == n &&
+             y.globalShape()[0] == A.globalShape()[0]);
+  MC_REQUIRE(A.dist().dims()[1].procs == 1,
+             "matvec requires a (BLOCK, *) matrix distribution");
+
+  // Step 1: assemble the full operand vector (allgather).
+  auto rows = comm.allgather<T>(x.raw());
+  std::vector<T> full(static_cast<size_t>(n));
+  for (int proc = 0; proc < comm.size(); ++proc) {
+    x.dist().forEachOwned(proc, [&](const layout::Point& p, layout::Index off) {
+      full[static_cast<size_t>(p[0])] =
+          rows[static_cast<size_t>(proc)][static_cast<size_t>(off)];
+    });
+  }
+
+  // Step 2: local dgemv over the owned row block.
+  comm.compute([&] {
+    const layout::Shape localA = A.dist().localShape(comm.rank());
+    const layout::Index myRows = localA[0];
+    const std::span<const T> a = A.raw();
+    const std::span<T> out = y.raw();
+    MC_REQUIRE(static_cast<layout::Index>(out.size()) == myRows,
+               "y's distribution does not match A's row distribution");
+    for (layout::Index r = 0; r < myRows; ++r) {
+      T acc{};
+      const size_t rowBase = static_cast<size_t>(r * n);
+      for (layout::Index c = 0; c < n; ++c) {
+        acc += a[rowBase + static_cast<size_t>(c)] * full[static_cast<size_t>(c)];
+      }
+      out[static_cast<size_t>(r)] = acc;
+    }
+  });
+}
+
+}  // namespace mc::hpfrt

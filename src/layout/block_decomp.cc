@@ -1,0 +1,128 @@
+#include "layout/block_decomp.h"
+
+#include <algorithm>
+
+namespace mc::layout {
+
+std::vector<int> chooseProcGrid(int nprocs, int rank) {
+  MC_REQUIRE(nprocs > 0 && rank >= 1 && rank <= kMaxRank);
+  std::vector<int> grid(static_cast<size_t>(rank), 1);
+  // Peel prime factors largest-first onto the currently smallest grid axis.
+  std::vector<int> factors;
+  int n = nprocs;
+  for (int f = 2; f * f <= n; ++f) {
+    while (n % f == 0) {
+      factors.push_back(f);
+      n /= f;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+  for (int f : factors) {
+    auto smallest = std::min_element(grid.begin(), grid.end());
+    *smallest *= f;
+  }
+  std::sort(grid.rbegin(), grid.rend());
+  return grid;
+}
+
+BlockDecomp::BlockDecomp(Shape global, std::vector<int> grid)
+    : global_(global), grid_(std::move(grid)) {
+  MC_REQUIRE(static_cast<int>(grid_.size()) == global_.rank,
+             "grid rank %zu != shape rank %d", grid_.size(), global_.rank);
+  nprocs_ = 1;
+  for (int g : grid_) {
+    MC_REQUIRE(g > 0);
+    nprocs_ *= g;
+  }
+}
+
+BlockDecomp BlockDecomp::regular(Shape global, int nprocs) {
+  return BlockDecomp(global, chooseProcGrid(nprocs, global.rank));
+}
+
+std::vector<int> BlockDecomp::procCoord(int proc) const {
+  MC_REQUIRE(proc >= 0 && proc < nprocs_);
+  std::vector<int> coord(grid_.size());
+  for (int d = global_.rank - 1; d >= 0; --d) {
+    coord[static_cast<size_t>(d)] = proc % grid_[static_cast<size_t>(d)];
+    proc /= grid_[static_cast<size_t>(d)];
+  }
+  return coord;
+}
+
+int BlockDecomp::procAt(const std::vector<int>& coord) const {
+  MC_REQUIRE(coord.size() == grid_.size());
+  int proc = 0;
+  for (int d = 0; d < global_.rank; ++d) {
+    const auto dd = static_cast<size_t>(d);
+    MC_REQUIRE(coord[dd] >= 0 && coord[dd] < grid_[dd]);
+    proc = proc * grid_[dd] + coord[dd];
+  }
+  return proc;
+}
+
+std::pair<Index, Index> BlockDecomp::ownedRange(int d, int c) const {
+  const Index extent = global_[d];
+  const Index p = grid_[static_cast<size_t>(d)];
+  const Index block = (extent + p - 1) / p;  // ceil
+  const Index lo = block * c;
+  const Index hi = std::min(extent, block * (c + 1)) - 1;
+  return {lo, hi};
+}
+
+RegularSection BlockDecomp::ownedBox(int proc) const {
+  MC_REQUIRE(proc >= 0 && proc < nprocs_);
+  // Decode the grid coordinate inline (hot path: no heap traffic).
+  std::array<int, kMaxRank> coord{};
+  int rem = proc;
+  for (int d = global_.rank - 1; d >= 0; --d) {
+    const int g = grid_[static_cast<size_t>(d)];
+    coord[static_cast<size_t>(d)] = rem % g;
+    rem /= g;
+  }
+  RegularSection s;
+  s.rank = global_.rank;
+  for (int d = 0; d < global_.rank; ++d) {
+    const auto [lo, hi] = ownedRange(d, coord[static_cast<size_t>(d)]);
+    const auto dd = static_cast<size_t>(d);
+    s.lo[dd] = lo;
+    s.hi[dd] = hi;
+    s.stride[dd] = 1;
+  }
+  return s;
+}
+
+int BlockDecomp::ownerOf(const Point& p) const {
+  MC_REQUIRE(global_.contains(p), "point not in the global array");
+  // Row-major over grid coordinates, computed without allocation: this is
+  // called once per element in schedule builders.
+  int proc = 0;
+  for (int d = 0; d < global_.rank; ++d) {
+    const Index extent = global_[d];
+    const Index np = grid_[static_cast<size_t>(d)];
+    const Index block = (extent + np - 1) / np;
+    proc = proc * static_cast<int>(np) + static_cast<int>(p[d] / block);
+  }
+  return proc;
+}
+
+Shape BlockDecomp::localShape(int proc) const {
+  const RegularSection box = ownedBox(proc);
+  Shape s;
+  s.rank = global_.rank;
+  for (int d = 0; d < global_.rank; ++d) s[d] = box.count(d);
+  return s;
+}
+
+Index BlockDecomp::localOffset(int proc, const Point& p) const {
+  const RegularSection box = ownedBox(proc);
+  MC_REQUIRE(box.contains(p), "point not owned by processor %d", proc);
+  const Shape local = localShape(proc);
+  Point lp;
+  lp.rank = p.rank;
+  for (int d = 0; d < p.rank; ++d) lp[d] = p[d] - box.lo[static_cast<size_t>(d)];
+  return rowMajorOffset(local, lp);
+}
+
+}  // namespace mc::layout

@@ -1,0 +1,65 @@
+// Multidimensional block decompositions over processor grids.
+//
+// This is the distribution machinery shared by the "regular" libraries:
+// Multiblock Parti distributes each array BLOCK-wise over a processor grid
+// (paper Section 5.1: "regularly distributed by blocks in both dimensions"),
+// and the HPF runtime uses the same per-dimension block map for its BLOCK
+// distributions.  Blocks are ceiling-sized: dimension extent N over P
+// processors gives blocks of ceil(N/P), the last processor taking the
+// remainder (the HPF BLOCK rule).
+#pragma once
+
+#include <vector>
+
+#include "layout/index.h"
+#include "layout/section.h"
+
+namespace mc::layout {
+
+/// Chooses a processor grid for `nprocs` over `rank` dimensions, favouring
+/// near-square grids (same spirit as MPI_Dims_create).
+std::vector<int> chooseProcGrid(int nprocs, int rank);
+
+/// A BLOCK decomposition of a global shape over a processor grid.
+class BlockDecomp {
+ public:
+  BlockDecomp() = default;
+  /// `grid[d]` = processors along dimension d; product must equal nprocs.
+  BlockDecomp(Shape global, std::vector<int> grid);
+  /// Near-square grid chosen automatically.
+  static BlockDecomp regular(Shape global, int nprocs);
+
+  const Shape& globalShape() const { return global_; }
+  int rank() const { return global_.rank; }
+  int nprocs() const { return nprocs_; }
+  const std::vector<int>& grid() const { return grid_; }
+
+  /// Processor-grid coordinates of processor `proc` (row-major over grid).
+  std::vector<int> procCoord(int proc) const;
+  /// Inverse of procCoord.
+  int procAt(const std::vector<int>& coord) const;
+
+  /// Inclusive [lo, hi] owned along dimension d by grid coordinate c.
+  /// Empty blocks (hi < lo) are possible when extents < grid size.
+  std::pair<Index, Index> ownedRange(int d, int c) const;
+
+  /// The subarray owned by `proc` as a stride-1 section (may be empty).
+  RegularSection ownedBox(int proc) const;
+
+  /// Owner processor of a global point.
+  int ownerOf(const Point& p) const;
+
+  /// Local shape (owned extents) of `proc`.
+  Shape localShape(int proc) const;
+
+  /// Offset of global point `p` within the owner's local row-major storage
+  /// (no ghost padding; callers with halos add their own padding).
+  Index localOffset(int proc, const Point& p) const;
+
+ private:
+  Shape global_;
+  std::vector<int> grid_;
+  int nprocs_ = 0;
+};
+
+}  // namespace mc::layout

@@ -1,0 +1,101 @@
+// Small fixed-rank index math for distributed multidimensional arrays.
+//
+// Ranks are tiny (the paper's codes are 1-D and 2-D; we support up to 4-D),
+// so points and shapes are inline arrays — no heap traffic in the inner
+// loops that enumerate linearizations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace mc::layout {
+
+using Index = std::int64_t;
+inline constexpr int kMaxRank = 4;
+
+/// An n-dimensional index (or extent vector).
+struct Point {
+  int rank = 0;
+  std::array<Index, kMaxRank> v{};
+
+  static Point of(std::initializer_list<Index> xs) {
+    MC_REQUIRE(xs.size() >= 1 && xs.size() <= kMaxRank);
+    Point p;
+    p.rank = static_cast<int>(xs.size());
+    int i = 0;
+    for (Index x : xs) p.v[static_cast<size_t>(i++)] = x;
+    return p;
+  }
+  Index& operator[](int d) { return v[static_cast<size_t>(d)]; }
+  Index operator[](int d) const { return v[static_cast<size_t>(d)]; }
+  bool operator==(const Point& o) const {
+    if (rank != o.rank) return false;
+    for (int d = 0; d < rank; ++d) {
+      if (v[static_cast<size_t>(d)] != o.v[static_cast<size_t>(d)]) return false;
+    }
+    return true;
+  }
+};
+
+/// Extents of an n-dimensional array (all extents >= 0).
+struct Shape {
+  int rank = 0;
+  std::array<Index, kMaxRank> extent{};
+
+  static Shape of(std::initializer_list<Index> xs) {
+    MC_REQUIRE(xs.size() >= 1 && xs.size() <= kMaxRank);
+    Shape s;
+    s.rank = static_cast<int>(xs.size());
+    int i = 0;
+    for (Index x : xs) {
+      MC_REQUIRE(x >= 0);
+      s.extent[static_cast<size_t>(i++)] = x;
+    }
+    return s;
+  }
+  Index operator[](int d) const { return extent[static_cast<size_t>(d)]; }
+  Index& operator[](int d) { return extent[static_cast<size_t>(d)]; }
+  Index numElements() const {
+    Index n = 1;
+    for (int d = 0; d < rank; ++d) n *= extent[static_cast<size_t>(d)];
+    return n;
+  }
+  bool contains(const Point& p) const {
+    if (p.rank != rank) return false;
+    for (int d = 0; d < rank; ++d) {
+      if (p[d] < 0 || p[d] >= (*this)[d]) return false;
+    }
+    return true;
+  }
+  bool operator==(const Shape& o) const {
+    if (rank != o.rank) return false;
+    for (int d = 0; d < rank; ++d) {
+      if ((*this)[d] != o[d]) return false;
+    }
+    return true;
+  }
+};
+
+/// Row-major (C order) offset of `p` within an array of shape `s`.
+inline Index rowMajorOffset(const Shape& s, const Point& p) {
+  MC_CHECK(p.rank == s.rank);
+  Index off = 0;
+  for (int d = 0; d < s.rank; ++d) off = off * s[d] + p[d];
+  return off;
+}
+
+/// Inverse of rowMajorOffset.
+inline Point rowMajorPoint(const Shape& s, Index off) {
+  Point p;
+  p.rank = s.rank;
+  for (int d = s.rank - 1; d >= 0; --d) {
+    p[d] = off % s[d];
+    off /= s[d];
+  }
+  MC_CHECK(off == 0, "offset out of range");
+  return p;
+}
+
+}  // namespace mc::layout

@@ -1,0 +1,136 @@
+#include "layout/section.h"
+
+#include <algorithm>
+
+namespace mc::layout {
+
+RegularSection RegularSection::of(std::initializer_list<Index> lo,
+                                  std::initializer_list<Index> hi,
+                                  std::initializer_list<Index> stride) {
+  MC_REQUIRE(lo.size() == hi.size() && hi.size() == stride.size());
+  MC_REQUIRE(lo.size() >= 1 && lo.size() <= kMaxRank);
+  RegularSection s;
+  s.rank = static_cast<int>(lo.size());
+  int i = 0;
+  for (Index x : lo) s.lo[static_cast<size_t>(i++)] = x;
+  i = 0;
+  for (Index x : hi) s.hi[static_cast<size_t>(i++)] = x;
+  i = 0;
+  for (Index x : stride) {
+    MC_REQUIRE(x > 0, "stride must be positive");
+    s.stride[static_cast<size_t>(i++)] = x;
+  }
+  return s;
+}
+
+RegularSection RegularSection::box(std::initializer_list<Index> lo,
+                                   std::initializer_list<Index> hi) {
+  MC_REQUIRE(lo.size() == hi.size());
+  RegularSection s;
+  s.rank = static_cast<int>(lo.size());
+  int i = 0;
+  for (Index x : lo) s.lo[static_cast<size_t>(i++)] = x;
+  i = 0;
+  for (Index x : hi) s.hi[static_cast<size_t>(i++)] = x;
+  for (int d = 0; d < s.rank; ++d) s.stride[static_cast<size_t>(d)] = 1;
+  return s;
+}
+
+RegularSection RegularSection::all(const Shape& shape) {
+  RegularSection s;
+  s.rank = shape.rank;
+  for (int d = 0; d < s.rank; ++d) {
+    const auto dd = static_cast<size_t>(d);
+    s.lo[dd] = 0;
+    s.hi[dd] = shape[d] - 1;
+    s.stride[dd] = 1;
+  }
+  return s;
+}
+
+Point RegularSection::pointAt(Index k) const {
+  MC_REQUIRE(k >= 0 && k < numElements());
+  Point p;
+  p.rank = rank;
+  for (int d = rank - 1; d >= 0; --d) {
+    const auto dd = static_cast<size_t>(d);
+    const Index c = count(d);
+    p[d] = lo[dd] + (k % c) * stride[dd];
+    k /= c;
+  }
+  return p;
+}
+
+Index RegularSection::positionOf(const Point& p) const {
+  MC_REQUIRE(contains(p));
+  Index pos = 0;
+  for (int d = 0; d < rank; ++d) {
+    const auto dd = static_cast<size_t>(d);
+    pos = pos * count(d) + (p[d] - lo[dd]) / stride[dd];
+  }
+  return pos;
+}
+
+RegularSection RegularSection::clampToBox(const Point& boxLo,
+                                          const Point& boxHi) const {
+  MC_REQUIRE(boxLo.rank == rank && boxHi.rank == rank);
+  RegularSection out = *this;
+  for (int d = 0; d < rank; ++d) {
+    const auto dd = static_cast<size_t>(d);
+    // First section element >= boxLo[d], staying on this section's lattice.
+    Index newLo = lo[dd];
+    if (boxLo[d] > newLo) {
+      const Index delta = boxLo[d] - newLo;
+      newLo += (delta + stride[dd] - 1) / stride[dd] * stride[dd];
+    }
+    // Last section element <= min(hi, boxHi[d]).
+    Index newHi = std::min(hi[dd], boxHi[d]);
+    if (newHi >= newLo) {
+      newHi = newLo + (newHi - newLo) / stride[dd] * stride[dd];
+    }
+    out.lo[dd] = newLo;
+    out.hi[dd] = newHi;  // may produce an empty dimension (newHi < newLo)
+  }
+  return out;
+}
+
+RegularSection intersectBoxes(const RegularSection& a,
+                              const RegularSection& b) {
+  MC_REQUIRE(a.rank == b.rank);
+  RegularSection out;
+  out.rank = a.rank;
+  for (int d = 0; d < a.rank; ++d) {
+    const auto dd = static_cast<size_t>(d);
+    MC_REQUIRE(a.stride[dd] == 1 && b.stride[dd] == 1,
+               "intersectBoxes requires stride-1 boxes");
+    out.lo[dd] = std::max(a.lo[dd], b.lo[dd]);
+    out.hi[dd] = std::min(a.hi[dd], b.hi[dd]);
+    out.stride[dd] = 1;
+  }
+  return out;
+}
+
+RegularSection expandBox(const RegularSection& box, Index width,
+                         const Shape& domain) {
+  MC_REQUIRE(box.rank == domain.rank);
+  RegularSection out = box;
+  for (int d = 0; d < box.rank; ++d) {
+    const auto dd = static_cast<size_t>(d);
+    MC_REQUIRE(box.stride[dd] == 1, "expandBox requires stride-1 boxes");
+    out.lo[dd] = std::max<Index>(0, box.lo[dd] - width);
+    out.hi[dd] = std::min<Index>(domain[d] - 1, box.hi[dd] + width);
+  }
+  return out;
+}
+
+bool RegularSection::operator==(const RegularSection& o) const {
+  if (rank != o.rank) return false;
+  for (int d = 0; d < rank; ++d) {
+    const auto dd = static_cast<size_t>(d);
+    if (lo[dd] != o.lo[dd] || hi[dd] != o.hi[dd] || stride[dd] != o.stride[dd])
+      return false;
+  }
+  return true;
+}
+
+}  // namespace mc::layout

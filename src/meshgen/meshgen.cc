@@ -1,0 +1,84 @@
+#include "meshgen/meshgen.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace mc::meshgen {
+
+using layout::Index;
+
+EdgeList gridEdges(Index rows, Index cols) {
+  MC_REQUIRE(rows > 0 && cols > 0);
+  EdgeList e;
+  e.ia.reserve(static_cast<size_t>(2 * rows * cols));
+  e.ib.reserve(static_cast<size_t>(2 * rows * cols));
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      const Index v = r * cols + c;
+      if (c + 1 < cols) {
+        e.ia.push_back(v);
+        e.ib.push_back(v + 1);
+      }
+      if (r + 1 < rows) {
+        e.ia.push_back(v);
+        e.ib.push_back(v + cols);
+      }
+    }
+  }
+  return e;
+}
+
+EdgeList renumberNodes(const EdgeList& edges, const std::vector<Index>& perm) {
+  EdgeList out;
+  out.ia.reserve(edges.ia.size());
+  out.ib.reserve(edges.ib.size());
+  for (size_t i = 0; i < edges.ia.size(); ++i) {
+    out.ia.push_back(perm[static_cast<size_t>(edges.ia[i])]);
+    out.ib.push_back(perm[static_cast<size_t>(edges.ib[i])]);
+  }
+  return out;
+}
+
+std::vector<Index> nodePermutation(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto p = rng.permutation(static_cast<std::uint64_t>(n));
+  std::vector<Index> out(p.size());
+  for (size_t i = 0; i < p.size(); ++i) out[i] = static_cast<Index>(p[i]);
+  return out;
+}
+
+InterfaceMapping regToIrregMapping(Index rows, Index cols,
+                                   const std::vector<Index>& perm) {
+  MC_REQUIRE(static_cast<Index>(perm.size()) == rows * cols,
+             "permutation size %zu != mesh size %lld", perm.size(),
+             static_cast<long long>(rows * cols));
+  InterfaceMapping m;
+  const auto n = static_cast<size_t>(rows * cols);
+  m.reg1.reserve(n);
+  m.reg2.reserve(n);
+  m.irreg.reserve(n);
+  for (Index k = 0; k < rows * cols; ++k) {
+    m.reg1.push_back(k / cols);
+    m.reg2.push_back(k % cols);
+    m.irreg.push_back(perm[static_cast<size_t>(k)]);
+  }
+  return m;
+}
+
+NodeCoords gridCoordinates(Index rows, Index cols,
+                           const std::vector<Index>& perm) {
+  MC_REQUIRE(static_cast<Index>(perm.size()) == rows * cols,
+             "permutation size %zu != mesh size %lld", perm.size(),
+             static_cast<long long>(rows * cols));
+  NodeCoords coords;
+  coords.x.assign(perm.size(), 0.0);
+  coords.y.assign(perm.size(), 0.0);
+  for (Index k = 0; k < rows * cols; ++k) {
+    const auto id = static_cast<size_t>(perm[static_cast<size_t>(k)]);
+    coords.x[id] = static_cast<double>(k % cols);
+    coords.y[id] = static_cast<double>(k / cols);
+  }
+  return coords;
+}
+
+}  // namespace mc::meshgen

@@ -1,0 +1,70 @@
+// Workload generators for the paper's experiments.
+//
+// The paper's Section 5.1 couples a 256x256 regular mesh (Multiblock Parti)
+// with a 65536-point unstructured mesh (Chaos) — equal element counts, i.e.
+// the interface *remaps the whole mesh* between its regular (i,j) identity
+// and an irregular point numbering.  The authors used real CFD meshes; we
+// generate the closest synthetic equivalent:
+//
+//  * edges: a 4-neighbour grid graph (the connectivity of a structured
+//    triangulation) whose nodes are renumbered by a seeded random
+//    permutation — preserving mesh degree structure while destroying index
+//    locality, which is exactly what stresses irregular runtimes;
+//  * the regular<->irregular interface mapping (the paper's Reg2Irreg_Reg1 /
+//    Reg2Irreg_Reg2 / Reg2Irreg_Irreg arrays of Figure 1).
+//
+// All generators are deterministic in their seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/index.h"
+
+namespace mc::meshgen {
+
+/// An unstructured mesh's edge list: edge e connects nodes ia[e] and ib[e].
+struct EdgeList {
+  std::vector<layout::Index> ia;
+  std::vector<layout::Index> ib;
+  layout::Index numEdges() const {
+    return static_cast<layout::Index>(ia.size());
+  }
+};
+
+/// 4-neighbour grid-graph edges over rows x cols nodes (row-major ids).
+EdgeList gridEdges(layout::Index rows, layout::Index cols);
+
+/// Renumbers nodes: node v becomes perm[v].
+EdgeList renumberNodes(const EdgeList& edges,
+                       const std::vector<layout::Index>& perm);
+
+/// A seeded random permutation of 0..n-1 (as layout::Index values).
+std::vector<layout::Index> nodePermutation(layout::Index n,
+                                           std::uint64_t seed);
+
+/// The Figure-1 interface mapping between a rows x cols regular mesh and an
+/// irregular mesh of rows*cols points: entry k associates regular point
+/// (reg1[k], reg2[k]) with irregular point irreg[k] = perm[k].
+struct InterfaceMapping {
+  std::vector<layout::Index> reg1;   // first regular index
+  std::vector<layout::Index> reg2;   // second regular index
+  std::vector<layout::Index> irreg;  // irregular point index
+  layout::Index size() const { return static_cast<layout::Index>(irreg.size()); }
+};
+
+InterfaceMapping regToIrregMapping(layout::Index rows, layout::Index cols,
+                                   const std::vector<layout::Index>& perm);
+
+/// Physical coordinates per node (indexed by *renumbered* node id): the
+/// node that grid cell (r, c) became under `perm` sits at (c, r).  Feeds
+/// geometric partitioners (chaos::rcbPartition).
+struct NodeCoords {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+NodeCoords gridCoordinates(layout::Index rows, layout::Index cols,
+                           const std::vector<layout::Index>& perm);
+
+}  // namespace mc::meshgen

@@ -1,0 +1,49 @@
+#include "parti/ghost.h"
+
+namespace mc::parti {
+
+Schedule buildGhostSchedule(const PartiDesc& desc, int myProc) {
+  Schedule sched;
+  if (desc.ghost == 0) return sched;
+  const layout::BlockDecomp& decomp = desc.decomp;
+  const layout::Shape& domain = decomp.globalShape();
+  const layout::RegularSection myBox = decomp.ownedBox(myProc);
+  if (myBox.empty()) return sched;
+  const layout::RegularSection myHalo =
+      layout::expandBox(myBox, desc.ghost, domain);
+  const PartiAddr myAddr = desc.addrOf(myProc);
+
+  for (int q = 0; q < decomp.nprocs(); ++q) {
+    if (q == myProc) continue;
+    const layout::RegularSection qBox = decomp.ownedBox(q);
+    if (qBox.empty()) continue;
+    // Halo cells I need that q owns.
+    const layout::RegularSection need = layout::intersectBoxes(myHalo, qBox);
+    if (!need.empty()) {
+      OffsetPlan plan;
+      plan.peer = q;
+      plan.offsets.reserve(static_cast<size_t>(need.numElements()));
+      need.forEach([&](const layout::Point& p, layout::Index) {
+        plan.offsets.push_back(myAddr.offsetOf(p));
+      });
+      sched.recvs.push_back(std::move(plan));
+    }
+    // Cells I own that fall in q's halo.
+    const layout::RegularSection qHalo =
+        layout::expandBox(qBox, desc.ghost, domain);
+    const layout::RegularSection give = layout::intersectBoxes(qHalo, myBox);
+    if (!give.empty()) {
+      OffsetPlan plan;
+      plan.peer = q;
+      plan.offsets.reserve(static_cast<size_t>(give.numElements()));
+      give.forEach([&](const layout::Point& p, layout::Index) {
+        plan.offsets.push_back(myAddr.offsetOf(p));
+      });
+      sched.sends.push_back(std::move(plan));
+    }
+  }
+  sched.sortByPeer();
+  return sched;
+}
+
+}  // namespace mc::parti

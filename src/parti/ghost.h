@@ -1,0 +1,33 @@
+// Ghost (overlap) cell exchange for Parti arrays.
+//
+// buildGhostSchedule is the *inspector*: from the replicated distribution
+// descriptor alone — no communication — each processor derives which halo
+// cells it must receive from which owner, and which of its owned cells its
+// neighbours need.  Executing the schedule (the *executor*) fills every halo
+// cell with the owner's current value; it is typically run once per
+// time-step, as in Loop 1 of the paper's Figure 1 code.
+#pragma once
+
+#include "parti/dist_array.h"
+#include "parti/schedule.h"
+
+namespace mc::parti {
+
+/// Builds the ghost-fill schedule for processor `myProc` of an array
+/// described by `desc`.  Pure local computation.
+Schedule buildGhostSchedule(const PartiDesc& desc, int myProc);
+
+/// Convenience: build for the calling processor of `array`.
+template <typename T>
+Schedule buildGhostSchedule(const BlockDistArray<T>& array) {
+  return buildGhostSchedule(array.desc(), array.comm().rank());
+}
+
+/// Executes a ghost fill on `array` (collective).
+template <typename T>
+void exchangeGhosts(BlockDistArray<T>& array, const Schedule& sched) {
+  const int tag = array.comm().nextUserTag();
+  execute<T>(array.comm(), sched, array.raw(), array.raw(), tag);
+}
+
+}  // namespace mc::parti

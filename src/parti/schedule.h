@@ -1,0 +1,15 @@
+// Parti communication schedules — shared inspector/executor machinery.
+// See src/sched/schedule.h for the implementation; Parti re-exports the
+// names so its API reads as a self-contained library.
+#pragma once
+
+#include "sched/schedule.h"
+
+namespace mc::parti {
+
+using sched::OffsetPlan;
+using sched::Schedule;
+using sched::execute;
+using sched::executeAdd;
+
+}  // namespace mc::parti

@@ -1,0 +1,39 @@
+// Regular-section copy between two Parti arrays (Multiblock Parti's
+// native inter-block move, used for multiblock boundary updates — paper
+// Section 5.3).
+//
+// The source and destination sections must be *conformant*: equal rank and
+// equal element counts per dimension.  The copy pairs elements dimension by
+// dimension (the natural multiblock correspondence).  The schedule builder
+// uses box calculus — intersections of the sections with owner blocks — so
+// its cost scales with the number of processors and *locally owned* section
+// elements, not with the global section size.  This is what makes the
+// special-purpose Parti builder faster than the general Meta-Chaos builder
+// in Table 5, and the comparison is a headline result of the paper.
+#pragma once
+
+#include "parti/dist_array.h"
+#include "parti/schedule.h"
+
+namespace mc::parti {
+
+/// Builds the copy schedule for `myProc`.  Pure local computation (this is
+/// the zero-communication build the paper notes for Multiblock Parti in
+/// Table 5).
+Schedule buildSectionCopySchedule(const PartiDesc& srcDesc,
+                                  const layout::RegularSection& srcSec,
+                                  const PartiDesc& dstDesc,
+                                  const layout::RegularSection& dstSec,
+                                  int myProc);
+
+/// Executes the copy (collective): src's section elements land in dst's
+/// section, dimension-wise.
+template <typename T>
+void sectionCopy(const Schedule& sched, const BlockDistArray<T>& src,
+                 BlockDistArray<T>& dst) {
+  transport::Comm& comm = src.comm();
+  const int tag = comm.nextUserTag();
+  execute<T>(comm, sched, src.raw(), dst.raw(), tag);
+}
+
+}  // namespace mc::parti

@@ -1,0 +1,56 @@
+// Structured-mesh sweeps (the regular half of the paper's Figure 1 code).
+//
+// Loop 1 of Figure 1:
+//   forall (i = 2:n1-1, j = 2:n2-1)
+//     a(i,j) = a(i,j-1) + a(i-1,j) + a(i+1,j) + a(i,j+1)
+//
+// i.e. a Jacobi-style 4-point update over the interior.  The executor
+// exchanges ghost cells, then updates owned interior points from the *old*
+// values (forall semantics), using a scratch copy of the local block.
+#pragma once
+
+#include "parti/ghost.h"
+
+namespace mc::parti {
+
+/// One forall sweep of the 4-point stencil over the interior of `a`
+/// (2-D array with ghost width >= 1).  Collective.
+template <typename T>
+void stencilSweep(BlockDistArray<T>& a, const Schedule& ghostSched,
+                  std::vector<T>& scratch) {
+  MC_REQUIRE(a.globalShape().rank == 2, "stencilSweep expects a 2-D array");
+  MC_REQUIRE(a.ghost() >= 1, "stencilSweep needs a ghost width of at least 1");
+  exchangeGhosts(a, ghostSched);
+
+  a.comm().compute([&] {
+    const std::span<const T> data = a.raw();
+    scratch.assign(data.begin(), data.end());
+    const layout::RegularSection box = a.ownedBox();
+    if (box.empty()) return;
+    const layout::Shape& global = a.globalShape();
+    const layout::Shape padded =
+        a.desc().paddedShape(a.comm().rank());
+    const layout::Index rowStride = padded[1];
+    const std::span<T> out = a.raw();
+    // Interior of the *global* mesh: 1..n-2 in both dimensions.
+    const layout::Index iLo = std::max<layout::Index>(box.lo[0], 1);
+    const layout::Index iHi = std::min<layout::Index>(box.hi[0], global[0] - 2);
+    const layout::Index jLo = std::max<layout::Index>(box.lo[1], 1);
+    const layout::Index jHi = std::min<layout::Index>(box.hi[1], global[1] - 2);
+    const int g = a.ghost();
+    for (layout::Index i = iLo; i <= iHi; ++i) {
+      const layout::Index li = i - box.lo[0] + g;
+      for (layout::Index j = jLo; j <= jHi; ++j) {
+        const layout::Index lj = j - box.lo[1] + g;
+        const layout::Index c = li * rowStride + lj;
+        out[static_cast<size_t>(c)] =
+            scratch[static_cast<size_t>(c - 1)] +
+            scratch[static_cast<size_t>(c - rowStride)] +
+            scratch[static_cast<size_t>(c + rowStride)] +
+            scratch[static_cast<size_t>(c + 1)];
+      }
+    }
+  });
+}
+
+}  // namespace mc::parti

@@ -1,0 +1,198 @@
+// Communication schedules shared by the runtime libraries
+// (inspector/executor pattern of Saltz et al.).
+//
+// A Schedule lists, per peer processor, the element offsets to pack (sends)
+// or unpack (recvs), in an order both sides agree on; same-processor
+// transfers are local offset pairs.  Executing a schedule sends *at most one
+// message per processor pair* — the aggregation property the paper calls out
+// as matching hand-written message passing (Section 4.1.4).
+//
+// The same structure serves Multiblock Parti (ghost fills, section moves),
+// Chaos (gather / scatter-add), the HPF runtime (redistribution) and
+// Meta-Chaos itself (inter-library copies); each library differs only in how
+// it *builds* the offsets.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "layout/index.h"
+#include "transport/comm.h"
+
+namespace mc::sched {
+
+struct OffsetPlan {
+  int peer = 0;
+  std::vector<layout::Index> offsets;  // element offsets in the local buffer
+};
+
+struct Schedule {
+  std::vector<OffsetPlan> sends;  // sorted by peer
+  std::vector<OffsetPlan> recvs;  // sorted by peer
+  std::vector<std::pair<layout::Index, layout::Index>> localPairs;
+  /// Authentic Multiblock Parti stages local transfers through an
+  /// intermediate buffer (the paper contrasts this with Meta-Chaos's direct
+  /// local copy in Section 5.3).  Meta-Chaos schedules set this to false.
+  bool bufferLocalCopies = true;
+
+  layout::Index totalSendElements() const {
+    layout::Index n = 0;
+    for (const auto& p : sends) n += static_cast<layout::Index>(p.offsets.size());
+    return n;
+  }
+  layout::Index totalRecvElements() const {
+    layout::Index n = 0;
+    for (const auto& p : recvs) n += static_cast<layout::Index>(p.offsets.size());
+    return n;
+  }
+  void sortByPeer() {
+    auto byPeer = [](const OffsetPlan& a, const OffsetPlan& b) {
+      return a.peer < b.peer;
+    };
+    std::sort(sends.begin(), sends.end(), byPeer);
+    std::sort(recvs.begin(), recvs.end(), byPeer);
+  }
+};
+
+/// Executes `sched` within one program: packs `src` elements, sends at most
+/// one message per peer, copies local pairs, then unpacks into `dst`.
+/// Collective; `tag` must match across the program (comm.nextUserTag()).
+/// `src` and `dst` may alias (e.g. a ghost fill within one buffer).
+template <typename T>
+void execute(transport::Comm& comm, const Schedule& sched,
+             std::span<const T> src, std::span<T> dst, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // Pack/copy/unpack loops run under compute() so their CPU time is charged
+  // to the virtual clock; the messages charge their own transfer costs.
+  for (const OffsetPlan& plan : sched.sends) {
+    std::vector<T> buf;
+    comm.compute([&] {
+      buf.reserve(plan.offsets.size());
+      for (layout::Index off : plan.offsets) {
+        buf.push_back(src[static_cast<size_t>(off)]);
+      }
+    });
+    comm.send(plan.peer, tag, buf);
+  }
+  comm.compute([&] {
+    if (sched.bufferLocalCopies) {
+      std::vector<T> buf;
+      buf.reserve(sched.localPairs.size());
+      for (const auto& [from, to] : sched.localPairs) {
+        buf.push_back(src[static_cast<size_t>(from)]);
+      }
+      size_t i = 0;
+      for (const auto& [from, to] : sched.localPairs) {
+        dst[static_cast<size_t>(to)] = buf[i++];
+      }
+    } else {
+      for (const auto& [from, to] : sched.localPairs) {
+        dst[static_cast<size_t>(to)] = src[static_cast<size_t>(from)];
+      }
+    }
+  });
+  for (const OffsetPlan& plan : sched.recvs) {
+    const std::vector<T> buf = comm.recv<T>(plan.peer, tag);
+    MC_REQUIRE(buf.size() == plan.offsets.size(),
+               "schedule mismatch: peer %d sent %zu elements, expected %zu",
+               plan.peer, buf.size(), plan.offsets.size());
+    comm.compute([&] {
+      size_t i = 0;
+      for (layout::Index off : plan.offsets) {
+        dst[static_cast<size_t>(off)] = buf[i++];
+      }
+    });
+  }
+}
+
+/// Like execute, but *accumulates* received and local elements into `dst`
+/// (dst[off] += value).  This is the Chaos scatter-add executor used for
+/// irregular reductions such as Loop 3 of the paper's Figure 1.
+template <typename T>
+void executeAdd(transport::Comm& comm, const Schedule& sched,
+                std::span<const T> src, std::span<T> dst, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  for (const OffsetPlan& plan : sched.sends) {
+    std::vector<T> buf;
+    comm.compute([&] {
+      buf.reserve(plan.offsets.size());
+      for (layout::Index off : plan.offsets) {
+        buf.push_back(src[static_cast<size_t>(off)]);
+      }
+    });
+    comm.send(plan.peer, tag, buf);
+  }
+  comm.compute([&] {
+    for (const auto& [from, to] : sched.localPairs) {
+      dst[static_cast<size_t>(to)] += src[static_cast<size_t>(from)];
+    }
+  });
+  for (const OffsetPlan& plan : sched.recvs) {
+    const std::vector<T> buf = comm.recv<T>(plan.peer, tag);
+    MC_REQUIRE(buf.size() == plan.offsets.size(),
+               "schedule mismatch: peer %d sent %zu elements, expected %zu",
+               plan.peer, buf.size(), plan.offsets.size());
+    comm.compute([&] {
+      size_t i = 0;
+      for (layout::Index off : plan.offsets) {
+        dst[static_cast<size_t>(off)] += buf[i++];
+      }
+    });
+  }
+}
+
+/// Merges schedules into one; the merged executor ships ONE message per
+/// peer for the whole group instead of one per part — Chaos's
+/// schedule-merging optimization for transfers that always run together.
+/// All processors must merge the same parts in the same order (the
+/// per-peer pack order becomes part order, consistently on both sides).
+/// Offsets of different parts may index different buffers only if the
+/// caller executes the merged schedule against a common buffer pair.
+inline Schedule merge(std::span<const Schedule> parts) {
+  Schedule out;
+  if (parts.empty()) return out;
+  out.bufferLocalCopies = parts.front().bufferLocalCopies;
+  auto append = [](std::vector<OffsetPlan>& into,
+                   const std::vector<OffsetPlan>& from) {
+    for (const OffsetPlan& plan : from) {
+      auto it = std::find_if(into.begin(), into.end(), [&](const OffsetPlan& p) {
+        return p.peer == plan.peer;
+      });
+      if (it == into.end()) {
+        into.push_back(plan);
+      } else {
+        it->offsets.insert(it->offsets.end(), plan.offsets.begin(),
+                           plan.offsets.end());
+      }
+    }
+  };
+  for (const Schedule& part : parts) {
+    MC_REQUIRE(part.bufferLocalCopies == out.bufferLocalCopies,
+               "cannot merge schedules with different local-copy policies");
+    append(out.sends, part.sends);
+    append(out.recvs, part.recvs);
+    out.localPairs.insert(out.localPairs.end(), part.localPairs.begin(),
+                          part.localPairs.end());
+  }
+  out.sortByPeer();
+  return out;
+}
+
+/// Reverses a schedule: sends become recvs and vice versa, local pairs flip.
+/// The paper notes Meta-Chaos schedules are symmetric — one schedule moves
+/// data either direction (Section 4.3); this implements that reversal.
+inline Schedule reverse(const Schedule& sched) {
+  Schedule out;
+  out.sends = sched.recvs;
+  out.recvs = sched.sends;
+  out.localPairs.reserve(sched.localPairs.size());
+  for (const auto& [from, to] : sched.localPairs) {
+    out.localPairs.emplace_back(to, from);
+  }
+  out.bufferLocalCopies = sched.bufferLocalCopies;
+  return out;
+}
+
+}  // namespace mc::sched

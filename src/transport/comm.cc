@@ -1,0 +1,205 @@
+#include "transport/comm.h"
+
+#include <algorithm>
+
+namespace mc::transport {
+
+Comm::Comm(WorldState* world, int globalRank)
+    : world_(world), globalRank_(globalRank) {
+  MC_REQUIRE(world != nullptr);
+  MC_REQUIRE(globalRank >= 0 &&
+             globalRank < static_cast<int>(world->programOf.size()));
+  program_ = world_->programOf[static_cast<size_t>(globalRank)];
+  localRank_ = world_->localRankOf[static_cast<size_t>(globalRank)];
+}
+
+int Comm::globalRankOf(int prog, int localRank) const {
+  const ProgramInfo& info = programInfo(prog);
+  MC_REQUIRE(localRank >= 0 && localRank < info.nprocs,
+             "rank %d out of range for program %d (size %d)", localRank, prog,
+             info.nprocs);
+  return info.firstGlobalRank + localRank;
+}
+
+void Comm::sendGlobal(int dstGlobal, int tag,
+                      std::span<const std::byte> data) {
+  const NetParams& p = world_->net.paramsFor(globalRank_, dstGlobal);
+  clock_ += p.sendOverhead +
+            world_->net.senderOccupancy(globalRank_, dstGlobal, data.size());
+  Message msg;
+  msg.srcGlobal = globalRank_;
+  msg.tag = tag;
+  msg.payload.assign(data.begin(), data.end());
+  msg.arrival = world_->net.arrival(clock_, globalRank_, dstGlobal, data.size());
+  ++stats_.messagesSent;
+  stats_.bytesSent += data.size();
+  world_->mail.deliver(dstGlobal, std::move(msg));
+}
+
+Message Comm::recvGlobal(int srcGlobal, int tag) {
+  Message m = world_->mail.receive(globalRank_, srcGlobal, tag,
+                                   world_->recvTimeoutSeconds);
+  const NetParams& p = world_->net.paramsFor(m.srcGlobal, globalRank_);
+  clock_ = std::max(clock_, m.arrival) + p.recvOverhead +
+           world_->net.receiverOccupancy(m.srcGlobal, globalRank_,
+                                         m.payload.size());
+  ++stats_.messagesReceived;
+  stats_.bytesReceived += m.payload.size();
+  return m;
+}
+
+void Comm::sendBytes(int dst, int tag, std::span<const std::byte> data) {
+  sendGlobal(globalRankOf(program_, dst), tag, data);
+}
+
+Message Comm::recvMsg(int src, int tag) {
+  const int srcGlobal =
+      (src == kAnySource) ? kAnySource : globalRankOf(program_, src);
+  // kAnySource within a program must not match cross-program traffic; the
+  // libraries in this reproduction always use distinct tags for the two, so
+  // plain global matching is sufficient and keeps the mailbox simple.
+  return recvGlobal(srcGlobal, tag);
+}
+
+bool Comm::probe(int src, int tag) {
+  const int srcGlobal =
+      (src == kAnySource) ? kAnySource : globalRankOf(program_, src);
+  return world_->mail.probe(globalRank_, srcGlobal, tag);
+}
+
+void Comm::sendBytesTo(int prog, int rankInProg, int tag,
+                       std::span<const std::byte> data) {
+  sendGlobal(globalRankOf(prog, rankInProg), tag, data);
+}
+
+Message Comm::recvMsgFrom(int prog, int rankInProg, int tag) {
+  return recvGlobal(globalRankOf(prog, rankInProg), tag);
+}
+
+void Comm::barrier() {
+  const int tag = collectiveTag();
+  const int root = 0;
+  if (localRank_ == root) {
+    double maxClock = clock_;
+    // Receive in rank order (not kAnySource): the clock arithmetic of
+    // interleaved max/overhead updates must not depend on wall-clock
+    // arrival order, or virtual times would vary run to run.
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      Message m = recvMsg(r, tag);
+      double peer = 0.0;
+      MC_CHECK(m.payload.size() == sizeof(double));
+      std::memcpy(&peer, m.payload.data(), sizeof(double));
+      maxClock = std::max(maxClock, peer);
+    }
+    clock_ = std::max(clock_, maxClock);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      sendValue(r, tag, clock_);
+    }
+  } else {
+    sendValue(root, tag, clock_);
+    const double rootClock = recvValue<double>(root, tag);
+    clock_ = std::max(clock_, rootClock);
+  }
+}
+
+void Comm::bcastBytes(std::vector<std::byte>& buf, int root) {
+  // Binomial tree (the classic MPI algorithm): O(log P) latency chains
+  // instead of a flat root fan-out, and the root's per-message overheads
+  // spread over the tree.
+  const int tag = collectiveTag();
+  const int np = size();
+  const int relative = (localRank_ - root + np) % np;
+  int mask = 1;
+  while (mask < np) {
+    if (relative & mask) {
+      const int parent = (relative - mask + root) % np;
+      Message m = recvMsg(parent, tag);
+      buf = std::move(m.payload);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < np) {
+      const int child = (relative + mask + root) % np;
+      sendBytes(child, tag, buf);
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::gatherBytes(
+    std::span<const std::byte> mine, int root) {
+  const int tag = collectiveTag();
+  std::vector<std::vector<std::byte>> out;
+  if (localRank_ == root) {
+    out.resize(static_cast<size_t>(size()));
+    out[static_cast<size_t>(root)].assign(mine.begin(), mine.end());
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      Message m = recvMsg(r, tag);
+      out[static_cast<size_t>(r)] = std::move(m.payload);
+    }
+  } else {
+    sendBytes(root, tag, mine);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgatherBytes(
+    std::span<const std::byte> mine) {
+  const int root = 0;
+  auto rows = gatherBytes(mine, root);
+  // Broadcast the concatenation with a size prefix per rank.
+  std::vector<std::byte> flat;
+  if (localRank_ == root) {
+    for (const auto& row : rows) {
+      std::uint64_t n = row.size();
+      const auto* p = reinterpret_cast<const std::byte*>(&n);
+      flat.insert(flat.end(), p, p + sizeof(n));
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+  }
+  bcastBytes(flat, root);
+  if (localRank_ == root) return rows;
+  std::vector<std::vector<std::byte>> out(static_cast<size_t>(size()));
+  size_t pos = 0;
+  for (int r = 0; r < size(); ++r) {
+    MC_CHECK(pos + sizeof(std::uint64_t) <= flat.size());
+    std::uint64_t n = 0;
+    std::memcpy(&n, flat.data() + pos, sizeof(n));
+    pos += sizeof(n);
+    MC_CHECK(pos + n <= flat.size());
+    out[static_cast<size_t>(r)].assign(flat.begin() + static_cast<long>(pos),
+                                       flat.begin() + static_cast<long>(pos + n));
+    pos += n;
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoallBytes(
+    const std::vector<std::vector<std::byte>>& sendTo) {
+  MC_REQUIRE(static_cast<int>(sendTo.size()) == size(),
+             "alltoall requires one buffer per rank (%d), got %zu", size(),
+             sendTo.size());
+  const int tag = collectiveTag();
+  std::vector<std::vector<std::byte>> out(static_cast<size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    if (r == localRank_) {
+      out[static_cast<size_t>(r)] = sendTo[static_cast<size_t>(r)];
+      continue;
+    }
+    sendBytes(r, tag, sendTo[static_cast<size_t>(r)]);
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r == localRank_) continue;
+    Message m = recvMsg(r, tag);
+    out[static_cast<size_t>(r)] = std::move(m.payload);
+  }
+  return out;
+}
+
+}  // namespace mc::transport

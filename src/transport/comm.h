@@ -1,0 +1,337 @@
+// Comm: the per-virtual-processor communication handle.
+//
+// A transport *world* runs one or more *programs* (SPMD process groups),
+// each with `size()` virtual processors; a Comm is the handle one virtual
+// processor holds.  It provides:
+//
+//   * identity:       rank within the program, program id, global rank
+//   * point-to-point: buffered sends and blocking receives, within the
+//                     program or across programs (intercommunication)
+//   * collectives:    barrier, bcast, gather(v), allgather(v), alltoall(v),
+//                     reduce, allreduce — all program-scoped
+//   * virtual time:   a per-processor clock advanced by measured thread CPU
+//                     time (compute) and by the network cost model (messages)
+//
+// Typed operations require trivially copyable element types, mirroring the
+// POD buffers the paper's libraries ship over MPI/PVM/MPL.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "transport/mailbox.h"
+#include "transport/message.h"
+#include "transport/netmodel.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace mc::transport {
+
+/// Description of one program (process group) in a world.
+struct ProgramInfo {
+  std::string name;
+  int nprocs = 0;
+  int firstGlobalRank = 0;
+};
+
+/// Shared state of a running world; owned by World::run, referenced by every
+/// Comm.  Not user-visible API.
+struct WorldState {
+  std::vector<ProgramInfo> programs;
+  std::vector<int> programOf;    // global rank -> program id
+  std::vector<int> localRankOf;  // global rank -> rank within program
+  MailboxTable mail;
+  NetworkModel net;
+  double recvTimeoutSeconds;
+
+  WorldState(std::vector<ProgramInfo> progs, std::vector<int> progOf,
+             std::vector<int> localOf, int worldSize, NetworkModel model,
+             double timeout)
+      : programs(std::move(progs)),
+        programOf(std::move(progOf)),
+        localRankOf(std::move(localOf)),
+        mail(worldSize),
+        net(std::move(model)),
+        recvTimeoutSeconds(timeout) {}
+};
+
+/// Per-Comm traffic counters, used by tests to verify the message-count
+/// invariants the paper states (at most one message per processor pair).
+struct TrafficStats {
+  std::uint64_t messagesSent = 0;
+  std::uint64_t bytesSent = 0;
+  std::uint64_t messagesReceived = 0;
+  std::uint64_t bytesReceived = 0;
+};
+
+class Comm {
+ public:
+  Comm(WorldState* world, int globalRank);
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  // --- identity -----------------------------------------------------------
+  int rank() const { return localRank_; }
+  int size() const { return programInfo().nprocs; }
+  int program() const { return program_; }
+  int numPrograms() const { return static_cast<int>(world_->programs.size()); }
+  const ProgramInfo& programInfo() const {
+    return world_->programs[static_cast<size_t>(program_)];
+  }
+  const ProgramInfo& programInfo(int p) const {
+    return world_->programs.at(static_cast<size_t>(p));
+  }
+  int globalRank() const { return globalRank_; }
+  int worldSize() const {
+    return static_cast<int>(world_->programOf.size());
+  }
+  int globalRankOf(int prog, int localRank) const;
+
+  // --- virtual clock ------------------------------------------------------
+  double now() const { return clock_; }
+  /// Advances the clock by a modeled amount of compute (deterministic).
+  void advance(double seconds) {
+    MC_REQUIRE(seconds >= 0.0);
+    clock_ += seconds;
+  }
+  /// Runs `fn` and charges its measured thread-CPU time to the clock.
+  template <typename F>
+  void compute(F&& fn) {
+    ThreadCpuTimer t;
+    std::forward<F>(fn)();
+    clock_ += t.elapsed();
+  }
+  /// Runs `fn`, charging its CPU time, and returns its result.
+  template <typename F>
+  auto computeValue(F&& fn) {
+    ThreadCpuTimer t;
+    auto result = std::forward<F>(fn)();
+    clock_ += t.elapsed();
+    return result;
+  }
+
+  const TrafficStats& stats() const { return stats_; }
+  void resetStats() { stats_ = TrafficStats{}; }
+
+  // --- tag allocation -------------------------------------------------------
+  /// Allocates a tag for an intra-program communication phase.  All
+  /// processors of a program must allocate in the same (SPMD) order — the
+  /// usual collective-call discipline — so peers agree on the value.
+  int nextUserTag() { return kUserTagBase + (userTagSeq_++ % kUserTagRange); }
+  /// Allocates a tag for a communication phase paired with program `prog`.
+  /// Both programs must make paired allocations in the same order; the
+  /// counter only advances for phases with that specific peer program, so
+  /// unrelated intra-program activity cannot desynchronize it.
+  int nextInterTag(int prog) {
+    MC_REQUIRE(prog >= 0 && prog < numPrograms() && prog != program_);
+    if (interTagSeq_.size() < static_cast<size_t>(numPrograms())) {
+      interTagSeq_.resize(static_cast<size_t>(numPrograms()), 0);
+    }
+    return kInterTagBase +
+           (interTagSeq_[static_cast<size_t>(prog)]++ % kUserTagRange);
+  }
+
+  // --- point to point (program scope; ranks are program-local) -------------
+  void sendBytes(int dst, int tag, std::span<const std::byte> data);
+  /// Blocking receive; src may be kAnySource, tag may be kAnyTag.
+  Message recvMsg(int src, int tag);
+  /// Non-blocking probe (MPI_Iprobe-like): true when a matching message is
+  /// already queued.  Does not consume the message or advance the clock.
+  bool probe(int src, int tag);
+
+  // --- point to point across programs --------------------------------------
+  void sendBytesTo(int prog, int rankInProg, int tag,
+                   std::span<const std::byte> data);
+  Message recvMsgFrom(int prog, int rankInProg, int tag);
+
+  // --- typed convenience ----------------------------------------------------
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    sendBytes(dst, tag, std::as_bytes(data));
+  }
+  template <typename T>
+  void send(int dst, int tag, const std::vector<T>& data) {
+    send(dst, tag, std::span<const T>(data));
+  }
+  template <typename T>
+  void sendValue(int dst, int tag, const T& v) {
+    send(dst, tag, std::span<const T>(&v, 1));
+  }
+  template <typename T>
+  std::vector<T> recv(int src, int tag, int* srcOut = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = recvMsg(src, tag);
+    if (srcOut != nullptr) {
+      *srcOut = world_->localRankOf[static_cast<size_t>(m.srcGlobal)];
+    }
+    return unpackVector<T>(m);
+  }
+  template <typename T>
+  T recvValue(int src, int tag) {
+    std::vector<T> v = recv<T>(src, tag);
+    MC_REQUIRE(v.size() == 1, "expected a single %zu-byte value, got %zu "
+               "elements", sizeof(T), v.size());
+    return v[0];
+  }
+  template <typename T>
+  void sendValueTo(int prog, int rankInProg, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    sendBytesTo(prog, rankInProg, tag,
+                std::as_bytes(std::span<const T>(&v, 1)));
+  }
+  template <typename T>
+  void sendTo(int prog, int rankInProg, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    sendBytesTo(prog, rankInProg, tag, std::as_bytes(data));
+  }
+  template <typename T>
+  void sendTo(int prog, int rankInProg, int tag, const std::vector<T>& data) {
+    sendTo(prog, rankInProg, tag, std::span<const T>(data));
+  }
+  template <typename T>
+  std::vector<T> recvFrom(int prog, int rankInProg, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = recvMsgFrom(prog, rankInProg, tag);
+    return unpackVector<T>(m);
+  }
+  template <typename T>
+  T recvValueFrom(int prog, int rankInProg, int tag) {
+    std::vector<T> v = recvFrom<T>(prog, rankInProg, tag);
+    MC_REQUIRE(v.size() == 1);
+    return v[0];
+  }
+
+  // --- collectives (program scope) ------------------------------------------
+  /// Synchronizes all processors of the program and their clocks (every
+  /// clock becomes at least the maximum participating clock).
+  void barrier();
+
+  /// Root's buffer is broadcast to everyone; others' buffers are replaced.
+  void bcastBytes(std::vector<std::byte>& buf, int root);
+
+  /// Gathers each rank's buffer at root; result[r] = rank r's buffer (empty
+  /// vector everywhere except root).
+  std::vector<std::vector<std::byte>> gatherBytes(
+      std::span<const std::byte> mine, int root);
+
+  /// gatherBytes + bcast: every rank gets all buffers.
+  std::vector<std::vector<std::byte>> allgatherBytes(
+      std::span<const std::byte> mine);
+
+  /// Personalized all-to-all: sendTo[r] goes to rank r; returns recvFrom[r].
+  std::vector<std::vector<std::byte>> alltoallBytes(
+      const std::vector<std::vector<std::byte>>& sendTo);
+
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf(data.size() * sizeof(T));
+    std::memcpy(buf.data(), data.data(), buf.size());
+    bcastBytes(buf, root);
+    data.resize(buf.size() / sizeof(T));
+    std::memcpy(data.data(), buf.data(), buf.size());
+  }
+  template <typename T>
+  T bcastValue(T v, int root) {
+    std::vector<T> tmp{v};
+    bcast(tmp, root);
+    return tmp[0];
+  }
+  template <typename T>
+  std::vector<std::vector<T>> gather(std::span<const T> mine, int root) {
+    return typedBuffers<T>(gatherBytes(std::as_bytes(mine), root));
+  }
+  template <typename T>
+  std::vector<std::vector<T>> allgather(std::span<const T> mine) {
+    return typedBuffers<T>(allgatherBytes(std::as_bytes(mine)));
+  }
+  template <typename T>
+  std::vector<T> allgatherValue(const T& v) {
+    auto rows = allgather<T>(std::span<const T>(&v, 1));
+    std::vector<T> out;
+    out.reserve(rows.size());
+    for (auto& r : rows) {
+      MC_REQUIRE(r.size() == 1);
+      out.push_back(r[0]);
+    }
+    return out;
+  }
+  template <typename T>
+  std::vector<std::vector<T>> alltoall(
+      const std::vector<std::vector<T>>& sendTo) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::vector<std::byte>> raw(sendTo.size());
+    for (size_t r = 0; r < sendTo.size(); ++r) {
+      raw[r].resize(sendTo[r].size() * sizeof(T));
+      std::memcpy(raw[r].data(), sendTo[r].data(), raw[r].size());
+    }
+    return typedBuffers<T>(alltoallBytes(raw));
+  }
+  /// Element-wise reduction with `op` at every rank (allreduce).
+  template <typename T, typename Op>
+  T allreduceValue(T v, Op op) {
+    auto all = allgatherValue(v);
+    T acc = all[0];
+    for (size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
+    return acc;
+  }
+  double allreduceMax(double v) {
+    return allreduceValue(v, [](double a, double b) { return a > b ? a : b; });
+  }
+  double allreduceSum(double v) {
+    return allreduceValue(v, [](double a, double b) { return a + b; });
+  }
+
+ private:
+  template <typename T>
+  static std::vector<T> unpackVector(const Message& m) {
+    MC_REQUIRE(m.payload.size() % sizeof(T) == 0,
+               "message size %zu not a multiple of element size %zu",
+               m.payload.size(), sizeof(T));
+    std::vector<T> out(m.payload.size() / sizeof(T));
+    std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    return out;
+  }
+  template <typename T>
+  static std::vector<std::vector<T>> typedBuffers(
+      std::vector<std::vector<std::byte>> raw) {
+    std::vector<std::vector<T>> out(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      MC_REQUIRE(raw[i].size() % sizeof(T) == 0);
+      out[i].resize(raw[i].size() / sizeof(T));
+      std::memcpy(out[i].data(), raw[i].data(), raw[i].size());
+    }
+    return out;
+  }
+
+  void sendGlobal(int dstGlobal, int tag, std::span<const std::byte> data);
+  Message recvGlobal(int srcGlobal, int tag);
+  int collectiveTag() {
+    return kCollectiveTagBase + (collectiveSeq_++ % kCollectiveTagRange);
+  }
+
+  static constexpr int kCollectiveTagBase = 1 << 28;
+  static constexpr int kCollectiveTagRange = 1 << 20;
+  static constexpr int kUserTagBase = 1 << 20;
+  static constexpr int kInterTagBase = 1 << 24;
+  static constexpr int kUserTagRange = 1 << 18;
+
+  WorldState* world_;
+  int globalRank_;
+  int program_;
+  int localRank_;
+  double clock_ = 0.0;
+  int collectiveSeq_ = 0;
+  int userTagSeq_ = 0;
+  std::vector<int> interTagSeq_;
+  TrafficStats stats_;
+};
+
+}  // namespace mc::transport

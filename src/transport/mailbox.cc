@@ -1,0 +1,87 @@
+#include "transport/mailbox.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mc::transport {
+
+MailboxTable::MailboxTable(int nprocs) {
+  MC_REQUIRE(nprocs > 0);
+  boxes_.reserve(static_cast<size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) boxes_.push_back(std::make_unique<Box>());
+}
+
+void MailboxTable::deliver(int dst, Message msg) {
+  Box& box = *boxes_.at(static_cast<size_t>(dst));
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Message MailboxTable::receive(int dst, int src, int tag,
+                              double timeoutSeconds) {
+  Box& box = *boxes_.at(static_cast<size_t>(dst));
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeoutSeconds));
+  for (;;) {
+    // First match in enqueue order: messages between one (source, tag) pair
+    // never overtake each other, the MPI non-overtaking guarantee the
+    // libraries' executors rely on.  (A later message can still carry an
+    // earlier virtual arrival — e.g. a small message "overtaking" a large
+    // one on the wire — but consumption order stays FIFO and the receiver
+    // clock simply maxes with whatever arrival it sees.)
+    auto best = box.queue.end();
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (matches(*it, src, tag)) {
+        best = it;
+        break;
+      }
+    }
+    if (best != box.queue.end()) {
+      Message out = std::move(*best);
+      box.queue.erase(best);
+      return out;
+    }
+    {
+      std::lock_guard<std::mutex> alock(abortMutex_);
+      if (aborted_) {
+        throw Error("transport aborted while rank " + std::to_string(dst) +
+                    " waited for a message: " + abortReason_);
+      }
+    }
+    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      throw Error(strprintf(
+          "transport deadlock guard: rank %d timed out waiting for a message "
+          "(src=%d tag=%d)",
+          dst, src, tag));
+    }
+  }
+}
+
+bool MailboxTable::probe(int dst, int src, int tag) {
+  Box& box = *boxes_.at(static_cast<size_t>(dst));
+  std::lock_guard<std::mutex> lock(box.mutex);
+  return std::any_of(box.queue.begin(), box.queue.end(),
+                     [&](const Message& m) { return matches(m, src, tag); });
+}
+
+void MailboxTable::abort(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(abortMutex_);
+    if (aborted_) return;
+    aborted_ = true;
+    abortReason_ = std::move(reason);
+  }
+  for (auto& box : boxes_) {
+    // Take the box mutex so a receiver cannot miss the wakeup between its
+    // aborted-flag check and entering the wait.
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+}
+
+}  // namespace mc::transport

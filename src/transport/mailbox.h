@@ -1,0 +1,63 @@
+// Per-destination mailboxes with (source, tag) matching.
+//
+// Sends are buffered (the payload is copied into the Message), so a send
+// never blocks — the rendezvous deadlocks of eager SPMD code cannot occur,
+// matching the buffered/asynchronous semantics the paper's libraries rely
+// on.  Receives block until a matching message is queued.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "transport/message.h"
+#include "util/error.h"
+
+namespace mc::transport {
+
+/// One mailbox per destination global rank.  Thread safe.
+class MailboxTable {
+ public:
+  explicit MailboxTable(int nprocs);
+
+  /// Enqueues `msg` for destination `dst` and wakes waiting receivers.
+  void deliver(int dst, Message msg);
+
+  /// Blocks until a message matching (src, tag) is available at `dst`, then
+  /// removes and returns it.  `src` / `tag` may be kAnySource / kAnyTag.
+  /// Matching is FIFO in enqueue order, so messages between one
+  /// (source, tag) pair never overtake each other — the MPI non-overtaking
+  /// guarantee.
+  ///
+  /// Throws mc::Error if the table is aborted while waiting, or after
+  /// `timeoutSeconds` of wall-clock inactivity (deadlock guard for tests).
+  Message receive(int dst, int src, int tag, double timeoutSeconds);
+
+  /// Returns true if a matching message is queued (non-blocking probe).
+  bool probe(int dst, int src, int tag);
+
+  /// Wakes all waiters with an error; used when a peer thread throws so the
+  /// whole world fails fast instead of deadlocking.
+  void abort(std::string reason);
+
+ private:
+  struct Box {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  bool matches(const Message& m, int src, int tag) const {
+    return (src == kAnySource || m.srcGlobal == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  std::vector<std::unique_ptr<Box>> boxes_;
+  std::mutex abortMutex_;
+  bool aborted_ = false;
+  std::string abortReason_;
+};
+
+}  // namespace mc::transport

@@ -1,0 +1,71 @@
+#include "transport/netmodel.h"
+
+#include <algorithm>
+
+namespace mc::transport {
+
+NetParams sp2Params() {
+  // Roughly SP2 "high performance switch" class: tens of microseconds of
+  // latency and of per-message software overhead (MPL), tens of MB/s of
+  // bandwidth.  The overheads matter: they are what makes Meta-Chaos's
+  // message aggregation pay off (see ablation_aggregation).
+  return NetParams{40e-6, 35e6, 30e-6, 30e-6};
+}
+
+NetParams atmParams() {
+  // OC-3 ATM through PVM/UDP: high per-message software latency and
+  // overhead, ~15 MB/s.
+  return NetParams{500e-6, 15e6, 100e-6, 100e-6};
+}
+
+NetParams intraNodeParams() {
+  // Shared-memory copy on an SMP node.
+  return NetParams{5e-6, 300e6, 5e-6, 5e-6};
+}
+
+NetworkModel::NetworkModel(NetConfig config, std::vector<int> nodeOf,
+                           std::vector<int> programOf)
+    : config_(std::move(config)),
+      nodeOf_(std::move(nodeOf)),
+      programOf_(std::move(programOf)) {
+  MC_REQUIRE(nodeOf_.size() == programOf_.size());
+  const int maxNode =
+      nodeOf_.empty() ? 0 : *std::max_element(nodeOf_.begin(), nodeOf_.end());
+  procsOnNode_.assign(static_cast<size_t>(maxNode) + 1, 0);
+  for (int node : nodeOf_) ++procsOnNode_[static_cast<size_t>(node)];
+}
+
+const NetParams& NetworkModel::paramsFor(int src, int dst) const {
+  const auto s = static_cast<size_t>(src);
+  const auto d = static_cast<size_t>(dst);
+  if (programOf_[s] != programOf_[d]) return config_.interProgram;
+  if (nodeOf_[s] == nodeOf_[d]) return config_.intraNode;
+  return config_.interNode;
+}
+
+double NetworkModel::senderOccupancy(int src, int dst,
+                                     std::size_t bytes) const {
+  if (!config_.contention || !crossNode(src, dst)) return 0.0;
+  const NetParams& p = paramsFor(src, dst);
+  return static_cast<double>(bytes) * procsOnNodeOf(src) / p.bandwidth;
+}
+
+double NetworkModel::receiverOccupancy(int src, int dst,
+                                       std::size_t bytes) const {
+  if (!config_.contention || !crossNode(src, dst)) return 0.0;
+  const NetParams& p = paramsFor(src, dst);
+  return static_cast<double>(bytes) * procsOnNodeOf(dst) / p.bandwidth;
+}
+
+double NetworkModel::arrival(double sendTime, int src, int dst,
+                             std::size_t bytes) const {
+  if (src == dst) return sendTime;  // self-message: local queue, no network
+  const NetParams& p = paramsFor(src, dst);
+  if (config_.contention && crossNode(src, dst)) {
+    // Transmit time was charged to the sender's clock as NIC occupancy.
+    return sendTime + p.latency;
+  }
+  return sendTime + p.transferTime(bytes);
+}
+
+}  // namespace mc::transport

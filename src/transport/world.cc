@@ -1,0 +1,72 @@
+#include "transport/world.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mc::transport {
+
+void World::run(std::vector<ProgramSpec> programs, WorldOptions options) {
+  MC_REQUIRE(!programs.empty(), "world needs at least one program");
+  std::vector<ProgramInfo> infos;
+  std::vector<int> programOf;
+  std::vector<int> localRankOf;
+  std::vector<int> nodeOf;
+  int nextNode = 0;
+  for (size_t p = 0; p < programs.size(); ++p) {
+    const ProgramSpec& spec = programs[p];
+    MC_REQUIRE(spec.nprocs > 0, "program %zu has %d processors", p,
+               spec.nprocs);
+    MC_REQUIRE(static_cast<bool>(spec.main), "program %zu has no main", p);
+    infos.push_back(ProgramInfo{spec.name, spec.nprocs,
+                                static_cast<int>(programOf.size())});
+    // Node placement: cyclic over this program's nodes; node ids are unique
+    // across programs (programs run on disjoint sets of nodes, as in the
+    // paper's experiments).
+    int nodes = spec.nprocs;  // default: one processor per node
+    if (p < options.net.nodesPerProgram.size()) {
+      nodes = options.net.nodesPerProgram[p];
+      MC_REQUIRE(nodes > 0);
+    }
+    for (int r = 0; r < spec.nprocs; ++r) {
+      programOf.push_back(static_cast<int>(p));
+      localRankOf.push_back(r);
+      nodeOf.push_back(nextNode + r % nodes);
+    }
+    nextNode += nodes;
+  }
+  const int worldSize = static_cast<int>(programOf.size());
+  NetworkModel net(options.net, nodeOf, programOf);
+  WorldState state(std::move(infos), std::move(programOf),
+                   std::move(localRankOf), worldSize, std::move(net),
+                   options.recvTimeoutSeconds);
+
+  std::mutex errMutex;
+  std::exception_ptr firstError;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(worldSize));
+  for (int g = 0; g < worldSize; ++g) {
+    const int prog = state.programOf[static_cast<size_t>(g)];
+    threads.emplace_back([&, g, prog] {
+      try {
+        Comm comm(&state, g);
+        programs[static_cast<size_t>(prog)].main(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(errMutex);
+          if (!firstError) firstError = std::current_exception();
+        }
+        state.mail.abort("a virtual processor threw an exception");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+void World::runSPMD(int nprocs, std::function<void(Comm&)> main,
+                    WorldOptions options) {
+  run({ProgramSpec{"spmd", nprocs, std::move(main)}}, std::move(options));
+}
+
+}  // namespace mc::transport

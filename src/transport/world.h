@@ -1,0 +1,47 @@
+// World: launches one or more SPMD programs on virtual processors.
+//
+// Each virtual processor is an OS thread running the program's main function
+// with its own Comm.  Programs model the paper's two deployment scenarios:
+// a single data parallel program using several libraries (one program), and
+// separately executing programs coupled through Meta-Chaos (two programs,
+// e.g. the Preg/Pirreg pair of Section 5.2 or the client/server pair of
+// Section 5.4).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "transport/comm.h"
+#include "transport/netmodel.h"
+
+namespace mc::transport {
+
+/// One SPMD program to launch.
+struct ProgramSpec {
+  std::string name;
+  int nprocs = 1;
+  std::function<void(Comm&)> main;
+};
+
+/// Options for a world run.
+struct WorldOptions {
+  NetConfig net;
+  /// Wall-clock receive timeout; generous default so genuine deadlocks in
+  /// tests fail instead of hanging forever.
+  double recvTimeoutSeconds = 120.0;
+};
+
+class World {
+ public:
+  /// Runs all programs to completion.  If any virtual processor throws, the
+  /// world aborts (blocked receivers are woken with an error) and the first
+  /// exception is rethrown here.
+  static void run(std::vector<ProgramSpec> programs, WorldOptions options = {});
+
+  /// Convenience: a single SPMD program.
+  static void runSPMD(int nprocs, std::function<void(Comm&)> main,
+                      WorldOptions options = {});
+};
+
+}  // namespace mc::transport

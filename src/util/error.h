@@ -1,0 +1,51 @@
+// Error handling for the Meta-Chaos reproduction.
+//
+// Library code throws mc::Error on contract violations and unrecoverable
+// conditions.  The MC_REQUIRE / MC_CHECK macros attach source location and a
+// printf-style message.  Per the C++ Core Guidelines (E.2, I.10) we signal
+// errors with exceptions rather than status codes; all containers are RAII so
+// stack unwinding is safe anywhere in the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/format.h"
+
+namespace mc {
+
+/// Exception type thrown by all mc:: libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void failRequire(const char* file, int line,
+                                     const char* expr, const std::string& msg) {
+  throw Error(strprintf("%s:%d: requirement failed: %s%s%s", file, line, expr,
+                        msg.empty() ? "" : " — ", msg.c_str()));
+}
+
+inline std::string requireMessage() { return {}; }
+template <typename... Args>
+std::string requireMessage(const char* fmt, Args&&... args) {
+  return strprintf(fmt, std::forward<Args>(args)...);
+}
+}  // namespace detail
+
+}  // namespace mc
+
+/// Precondition / invariant check that is always on (not assert()): these
+/// guard API contracts that user code can violate.
+#define MC_REQUIRE(expr, ...)                                         \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::mc::detail::failRequire(__FILE__, __LINE__, #expr,            \
+                                ::mc::detail::requireMessage(__VA_ARGS__)); \
+    }                                                                 \
+  } while (false)
+
+/// Internal consistency check; same behaviour, different intent in code.
+#define MC_CHECK(expr, ...) MC_REQUIRE(expr, __VA_ARGS__)

@@ -1,0 +1,34 @@
+// Minimal printf-style string formatting (GCC 12 lacks <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace mc {
+
+/// printf into a std::string.  Type-checked by the compiler via the format
+/// attribute; safe for any output length.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+strprintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    // Writing the terminating NUL through data() into out[n] is permitted
+    // since C++11 (that byte must hold '\0' already).
+    std::vsnprintf(out.data(), static_cast<size_t>(n) + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace mc

@@ -1,0 +1,55 @@
+// Deterministic random number generation for workload construction.
+//
+// All mesh / partition / region generators take an explicit seed so every
+// test and benchmark is reproducible bit-for-bit across runs and hosts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mc {
+
+/// splitmix64: tiny, fast, well-distributed 64-bit generator.  Used instead
+/// of std::mt19937 where we want a guaranteed-stable sequence that is part of
+/// the reproduction contract (libstdc++'s distributions are not portable).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher–Yates shuffle of a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of 0..n-1.
+  std::vector<std::uint64_t> permutation(std::uint64_t n) {
+    std::vector<std::uint64_t> p(n);
+    for (std::uint64_t i = 0; i < n; ++i) p[i] = i;
+    shuffle(p);
+    return p;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mc

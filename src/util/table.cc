@@ -1,0 +1,49 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace mc {
+
+void AsciiTable::header(std::vector<std::string> cells) {
+  lines_.insert(lines_.begin(), Line{false, std::move(cells)});
+  lines_.insert(lines_.begin() + 1, Line{true, {}});
+  hasHeader_ = true;
+}
+
+void AsciiTable::row(std::vector<std::string> cells) {
+  lines_.push_back(Line{false, std::move(cells)});
+}
+
+void AsciiTable::separator() { lines_.push_back(Line{true, {}}); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths;
+  for (const Line& line : lines_) {
+    if (line.isSeparator) continue;
+    if (widths.size() < line.cells.size()) widths.resize(line.cells.size(), 0);
+    for (std::size_t c = 0; c < line.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], line.cells[c].size());
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 3;
+  std::string out;
+  for (const Line& line : lines_) {
+    if (line.isSeparator) {
+      out.append(total, '-');
+      out.push_back('\n');
+      continue;
+    }
+    for (std::size_t c = 0; c < line.cells.size(); ++c) {
+      const std::string& cell = line.cells[c];
+      out += cell;
+      if (c + 1 < line.cells.size()) {
+        out.append(widths[c] - cell.size() + 3, ' ');
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace mc

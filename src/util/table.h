@@ -1,0 +1,32 @@
+// ASCII table printer used by the benchmark harness to emit paper-shaped
+// tables (rows = methods/phases, columns = processor counts, etc).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// Collects rows of cells and renders them with aligned columns.
+class AsciiTable {
+ public:
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+  /// Appends a data row.
+  void row(std::vector<std::string> cells);
+  /// Appends a horizontal separator line.
+  void separator();
+  /// Renders the table (trailing newline included).
+  std::string render() const;
+
+ private:
+  struct Line {
+    bool isSeparator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Line> lines_;
+  bool hasHeader_ = false;
+};
+
+}  // namespace mc

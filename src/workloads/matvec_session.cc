@@ -1,0 +1,202 @@
+#include "workloads/matvec_session.h"
+
+#include <cmath>
+
+#include "core/adapters/hpf_adapter.h"
+#include "core/adapters/parti_adapter.h"
+#include "core/data_move.h"
+#include "hpfrt/matvec.h"
+#include "parti/dist_array.h"
+
+namespace mc::workloads {
+
+using layout::Index;
+using layout::Point;
+using layout::RegularSection;
+using layout::Shape;
+using transport::Comm;
+using transport::ProgramSpec;
+using transport::World;
+
+namespace {
+
+double matrixEntry(Index i, Index j) {
+  return 1.0 / (1.0 + static_cast<double>(i + j));
+}
+double vectorEntry(Index i, int iter) {
+  return static_cast<double>((i + iter) % 13) - 6.0;
+}
+
+/// Client-side matvec on the client's Parti arrays (BLOCK rows): allgather
+/// the operand, multiply the owned row block.  This is the "compute in the
+/// client" alternative of Figure 15.
+void clientMatvec(Comm& comm, const parti::BlockDistArray<double>& A,
+                  const parti::BlockDistArray<double>& x,
+                  parti::BlockDistArray<double>& y, double flopsPerSecond) {
+  const Index n = A.globalShape()[1];
+  const std::vector<double> full = x.gatherGlobal();
+  Index myRows = 0;
+  comm.compute([&] {
+    const RegularSection rows = A.ownedBox();
+    if (rows.empty()) return;
+    myRows = rows.count(0);
+    for (Index i = rows.lo[0]; i <= rows.hi[0]; ++i) {
+      double acc = 0;
+      for (Index j = 0; j < n; ++j) {
+        acc += A.at(Point::of({i, j})) * full[static_cast<size_t>(j)];
+      }
+      y.at(Point::of({i})) = acc;
+    }
+  });
+  // Era-calibrated arithmetic cost (see MatvecSessionConfig).
+  comm.advance(2.0 * static_cast<double>(myRows * n) / flopsPerSecond);
+}
+
+}  // namespace
+
+int breakEvenVectors(const MatvecBreakdown& b, int numVectors) {
+  MC_REQUIRE(numVectors > 0);
+  const double perVectorServer =
+      (b.serverCompute + b.vectorExchange) / numVectors;
+  const double fixed = b.scheduleBuild + b.sendMatrix;
+  const double gain = b.clientLocalMatvec - perVectorServer;
+  if (gain <= 0) return 0;
+  // Small epsilon so exact ratios are not pushed up by rounding noise.
+  return static_cast<int>(std::ceil(fixed / gain - 1e-9));
+}
+
+MatvecBreakdown runMatvecSession(const MatvecSessionConfig& config) {
+  MatvecBreakdown result;
+  const Index n = config.n;
+  const int kClient = 0, kServer = 1;
+
+  transport::WorldOptions options;
+  options.net.interNode = transport::atmParams();
+  options.net.interProgram = transport::atmParams();
+  options.net.contention = config.contention;
+  options.net.nodesPerProgram = {config.clientProcs, config.serverNodes};
+
+  auto clientMain = [&](Comm& c) {
+    // Client data: matrix BLOCK by rows, vectors BLOCK (Multiblock Parti).
+    parti::BlockDistArray<double> A(
+        c, layout::BlockDecomp(Shape::of({n, n}), {c.size(), 1}), 0);
+    parti::BlockDistArray<double> x(
+        c, layout::BlockDecomp(Shape::of({n}), {c.size()}), 0);
+    parti::BlockDistArray<double> y(
+        c, layout::BlockDecomp(Shape::of({n}), {c.size()}), 0);
+    A.fillByPoint([](const Point& p) { return matrixEntry(p[0], p[1]); });
+
+    core::SetOfRegions mSet, vSet;
+    mSet.add(core::Region::section(
+        RegularSection::box({0, 0}, {n - 1, n - 1})));
+    vSet.add(core::Region::section(RegularSection::box({0}, {n - 1})));
+
+    // --- phase 1: schedules --------------------------------------------
+    c.barrier();
+    const double t0 = c.now();
+    const core::McSchedule mSend = core::computeScheduleSend(
+        c, core::PartiAdapter::describe(A), mSet, kServer, config.method);
+    const core::McSchedule xSend = core::computeScheduleSend(
+        c, core::PartiAdapter::describe(x), vSet, kServer, config.method);
+    const core::McSchedule yRecv = core::reverseSchedule(xSend);
+    c.barrier();
+    const double t1 = c.now();
+
+    // --- phase 2: ship the matrix ----------------------------------------
+    core::dataMoveSend<double>(c, mSend, A.raw());
+    // The transfer completes when the server acknowledges unpacking; fold
+    // that into the phase by a cross-program ack to rank 0.
+    {
+      const int tag = c.nextInterTag(kServer);
+      if (c.rank() == 0) (void)c.recvValueFrom<int>(kServer, 0, tag);
+    }
+    c.barrier();
+    const double t2 = c.now();
+
+    // --- phase 3: vectors ---------------------------------------------------
+    for (int it = 0; it < config.numVectors; ++it) {
+      x.fillByPoint([&](const Point& p) { return vectorEntry(p[0], it); });
+      core::dataMoveSend<double>(c, xSend, x.raw());
+      core::dataMoveRecv<double>(c, yRecv, y.raw());
+    }
+    c.barrier();
+    const double t3 = c.now();
+
+    // Server-side compute total arrives out of band after the timed region.
+    double serverCompute = 0;
+    {
+      const int tag = c.nextInterTag(kServer);
+      if (c.rank() == 0) {
+        serverCompute = c.recvValueFrom<double>(kServer, 0, tag);
+      }
+      std::vector<double> tmp{serverCompute};
+      c.bcast(tmp, 0);
+      serverCompute = tmp[0];
+    }
+
+    // --- client-local alternative (one matvec) -------------------------------
+    c.barrier();
+    const double t4 = c.now();
+    clientMatvec(c, A, x, y, config.flopsPerSecond);
+    c.barrier();
+    const double t5 = c.now();
+
+    if (c.rank() == 0) {
+      result.scheduleBuild = t1 - t0;
+      result.sendMatrix = t2 - t1;
+      result.serverCompute = serverCompute;
+      result.vectorExchange = (t3 - t2) - serverCompute;
+      result.clientLocalMatvec = t5 - t4;
+    }
+  };
+
+  auto serverMain = [&](Comm& c) {
+    hpfrt::HpfArray<double> A(c, hpfrt::matvecMatrixDist(n, c.size()));
+    hpfrt::HpfArray<double> x(c, hpfrt::matvecVectorDist(n, c.size()));
+    hpfrt::HpfArray<double> y(c, hpfrt::matvecVectorDist(n, c.size()));
+    core::SetOfRegions mSet, vSet;
+    mSet.add(core::Region::section(
+        RegularSection::box({0, 0}, {n - 1, n - 1})));
+    vSet.add(core::Region::section(RegularSection::box({0}, {n - 1})));
+
+    const core::McSchedule mRecv = core::computeScheduleRecv(
+        c, core::HpfAdapter::describe(A), mSet, kClient, config.method);
+    const core::McSchedule xRecv = core::computeScheduleRecv(
+        c, core::HpfAdapter::describe(x), vSet, kClient, config.method);
+    const core::McSchedule ySend = core::reverseSchedule(xRecv);
+
+    core::dataMoveRecv<double>(c, mRecv, A.raw());
+    {
+      const int tag = c.nextInterTag(kClient);
+      c.barrier();
+      if (c.rank() == 0) c.sendValueTo(kClient, 0, tag, 1);
+    }
+
+    double computeTotal = 0;
+    for (int it = 0; it < config.numVectors; ++it) {
+      core::dataMoveRecv<double>(c, xRecv, x.raw());
+      c.barrier();
+      const double t0 = c.now();
+      hpfrt::matvec(A, x, y);
+      // Era-calibrated arithmetic cost (see MatvecSessionConfig).
+      c.advance(2.0 *
+                static_cast<double>(A.dist().localShape(c.rank())[0] * n) /
+                config.flopsPerSecond);
+      c.barrier();
+      const double t1 = c.now();
+      computeTotal += t1 - t0;
+      core::dataMoveSend<double>(c, ySend, y.raw());
+    }
+    {
+      const int tag = c.nextInterTag(kClient);
+      if (c.rank() == 0) c.sendValueTo(kClient, 0, tag, computeTotal);
+    }
+  };
+
+  World::run({ProgramSpec{"client", config.clientProcs, clientMain},
+              ProgramSpec{"server", config.serverProcs, serverMain}},
+             options);
+  return result;
+}
+
+}  // namespace mc::workloads

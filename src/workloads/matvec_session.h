@@ -1,0 +1,60 @@
+// The client/server matrix-vector workload of the paper's Section 5.4.
+//
+// A client program (1, 2 or 4 processes, one per node — Fortran with
+// Multiblock Parti in the paper) uses an HPF program as a computational
+// server: it ships a 512x512 matrix once, then sends operand vectors and
+// receives result vectors, all through Meta-Chaos.  Two schedules suffice
+// (matrix, vector) because Meta-Chaos schedules are symmetric.
+//
+// The network mirrors the paper's Alpha-farm/ATM testbed: client and server
+// run on disjoint nodes, inter-program messages pay ATM-class costs, and
+// per-node link contention is modeled (the reason schedule/copy times rise
+// again beyond one server process per node).
+//
+// runMatvecSession returns the client-observed breakdown the paper plots in
+// Figures 10-14: schedule computation, matrix send, server compute, and
+// vector send/recv time.
+#pragma once
+
+#include "core/schedule_builder.h"
+#include "transport/world.h"
+
+namespace mc::workloads {
+
+struct MatvecSessionConfig {
+  layout::Index n = 512;      ///< matrix dimension
+  int clientProcs = 1;        ///< 1, 2 or 4 (one per client node)
+  int serverProcs = 8;        ///< up to 16
+  int serverNodes = 4;        ///< processes placed cyclically on these nodes
+  int numVectors = 1;         ///< matvecs per session (schedules reused)
+  core::Method method = core::Method::kCooperation;
+  bool contention = true;     ///< model per-node link contention
+  /// Modeled matvec arithmetic rate.  The virtual clock charges
+  /// 2*rows*n / flopsPerSecond per processor for each multiply, so the
+  /// compute/communication balance matches the paper's testbed (mid-90s
+  /// HPF-compiled dgemv against an OC-3 ATM network) rather than this
+  /// host's.  See DESIGN.md §3.
+  double flopsPerSecond = 4e6;
+};
+
+struct MatvecBreakdown {
+  double scheduleBuild = 0;   ///< both schedules, client-observed (s)
+  double sendMatrix = 0;      ///< one-time matrix transfer (s)
+  double serverCompute = 0;   ///< sum over vectors, server-measured (s)
+  double vectorExchange = 0;  ///< sum over vectors: roundtrip - server (s)
+  double clientLocalMatvec = 0;  ///< one matvec done client-side (s)
+
+  double total() const {
+    return scheduleBuild + sendMatrix + serverCompute + vectorExchange;
+  }
+};
+
+/// Break-even vector count from per-session measurements (Figure 15).
+/// `numVectors` must match the breakdown's session.  Returns 0 when the
+/// server never wins.
+int breakEvenVectors(const MatvecBreakdown& b, int numVectors);
+
+/// Runs the full two-program session and returns the client's breakdown.
+MatvecBreakdown runMatvecSession(const MatvecSessionConfig& config);
+
+}  // namespace mc::workloads

@@ -1,0 +1,180 @@
+// Tests for program-scoped collectives: barrier, bcast, gather, allgather,
+// alltoall, reductions — including clock-synchronization semantics.
+#include <gtest/gtest.h>
+
+#include "transport/world.h"
+
+namespace mc::transport {
+namespace {
+
+TEST(Collectives, BarrierSynchronizesClocks) {
+  World::runSPMD(4, [](Comm& c) {
+    c.advance(0.1 * (c.rank() + 1));  // ranks at 0.1 .. 0.4
+    c.barrier();
+    EXPECT_GE(c.now(), 0.4);  // everyone at least at the max
+  });
+}
+
+TEST(Collectives, BcastFromEveryRoot) {
+  World::runSPMD(4, [](Comm& c) {
+    for (int root = 0; root < c.size(); ++root) {
+      std::vector<int> data;
+      if (c.rank() == root) data = {root, root * 10, root * 100};
+      c.bcast(data, root);
+      ASSERT_EQ(data.size(), 3u);
+      EXPECT_EQ(data[1], root * 10);
+    }
+  });
+}
+
+TEST(Collectives, BcastValue) {
+  World::runSPMD(3, [](Comm& c) {
+    const double v = c.bcastValue(c.rank() == 1 ? 3.25 : -1.0, 1);
+    EXPECT_DOUBLE_EQ(v, 3.25);
+  });
+}
+
+TEST(Collectives, GatherConcentratesAtRoot) {
+  World::runSPMD(4, [](Comm& c) {
+    std::vector<int> mine(static_cast<size_t>(c.rank()) + 1, c.rank());
+    auto rows = c.gather<int>(mine, 2);
+    if (c.rank() == 2) {
+      ASSERT_EQ(rows.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(rows[static_cast<size_t>(r)].size(),
+                  static_cast<size_t>(r) + 1);
+        for (int x : rows[static_cast<size_t>(r)]) EXPECT_EQ(x, r);
+      }
+    } else {
+      EXPECT_TRUE(rows.empty());
+    }
+  });
+}
+
+TEST(Collectives, AllgatherEveryoneSeesAll) {
+  World::runSPMD(5, [](Comm& c) {
+    std::vector<int> mine{c.rank() * 7};
+    auto rows = c.allgather<int>(mine);
+    ASSERT_EQ(rows.size(), 5u);
+    for (int r = 0; r < 5; ++r) {
+      ASSERT_EQ(rows[static_cast<size_t>(r)].size(), 1u);
+      EXPECT_EQ(rows[static_cast<size_t>(r)][0], r * 7);
+    }
+  });
+}
+
+TEST(Collectives, AllgatherVariableSizes) {
+  World::runSPMD(4, [](Comm& c) {
+    std::vector<double> mine(static_cast<size_t>(c.rank() * 3));
+    for (auto& x : mine) x = c.rank();
+    auto rows = c.allgather<double>(mine);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(rows[static_cast<size_t>(r)].size(),
+                static_cast<size_t>(r * 3));
+    }
+  });
+}
+
+TEST(Collectives, AllgatherValue) {
+  World::runSPMD(3, [](Comm& c) {
+    auto all = c.allgatherValue(c.rank() + 100);
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0], 100);
+    EXPECT_EQ(all[2], 102);
+  });
+}
+
+TEST(Collectives, AlltoallPersonalized) {
+  World::runSPMD(4, [](Comm& c) {
+    std::vector<std::vector<int>> sendTo(4);
+    for (int r = 0; r < 4; ++r) sendTo[static_cast<size_t>(r)] = {c.rank() * 10 + r};
+    auto recvFrom = c.alltoall(sendTo);
+    ASSERT_EQ(recvFrom.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      ASSERT_EQ(recvFrom[static_cast<size_t>(r)].size(), 1u);
+      EXPECT_EQ(recvFrom[static_cast<size_t>(r)][0], r * 10 + c.rank());
+    }
+  });
+}
+
+TEST(Collectives, AlltoallEmptyLanes) {
+  World::runSPMD(3, [](Comm& c) {
+    std::vector<std::vector<int>> sendTo(3);
+    // Only send to rank 0.
+    sendTo[0] = {c.rank()};
+    auto recvFrom = c.alltoall(sendTo);
+    if (c.rank() == 0) {
+      for (int r = 0; r < 3; ++r) {
+        ASSERT_EQ(recvFrom[static_cast<size_t>(r)].size(), 1u);
+        EXPECT_EQ(recvFrom[static_cast<size_t>(r)][0], r);
+      }
+    } else {
+      for (const auto& v : recvFrom) EXPECT_TRUE(v.empty());
+    }
+  });
+}
+
+TEST(Collectives, AlltoallWrongLaneCountRejected) {
+  EXPECT_THROW(World::runSPMD(2,
+                              [](Comm& c) {
+                                std::vector<std::vector<int>> bad(1);
+                                c.alltoall(bad);
+                              }),
+               Error);
+}
+
+TEST(Collectives, AllreduceMaxAndSum) {
+  World::runSPMD(6, [](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.allreduceMax(static_cast<double>(c.rank())), 5.0);
+    EXPECT_DOUBLE_EQ(c.allreduceSum(1.0), 6.0);
+  });
+}
+
+TEST(Collectives, MixedSequenceStaysMatched) {
+  // Back-to-back different collectives must not cross-match tags.
+  World::runSPMD(4, [](Comm& c) {
+    for (int iter = 0; iter < 10; ++iter) {
+      c.barrier();
+      auto all = c.allgatherValue(iter * 4 + c.rank());
+      for (int r = 0; r < 4; ++r) EXPECT_EQ(all[static_cast<size_t>(r)], iter * 4 + r);
+      std::vector<int> b{iter};
+      c.bcast(b, iter % 4);
+      EXPECT_EQ(b[0], iter);
+    }
+  });
+}
+
+TEST(Collectives, CollectivesScopedToProgram) {
+  // Two programs run independent collectives concurrently; they must not
+  // interfere (the cross-program mailboxes are only touched by *To/From).
+  World::run({
+      ProgramSpec{"a", 3,
+                  [](Comm& c) {
+                    auto all = c.allgatherValue(c.rank());
+                    EXPECT_EQ(all.size(), 3u);
+                  }},
+      ProgramSpec{"b", 2,
+                  [](Comm& c) {
+                    auto all = c.allgatherValue(c.rank() + 50);
+                    ASSERT_EQ(all.size(), 2u);
+                    EXPECT_EQ(all[1], 51);
+                  }},
+  });
+}
+
+TEST(Collectives, SingleRankDegenerate) {
+  World::runSPMD(1, [](Comm& c) {
+    c.barrier();
+    auto all = c.allgatherValue(9);
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0], 9);
+    std::vector<int> v{1, 2};
+    c.bcast(v, 0);
+    EXPECT_EQ(v.size(), 2u);
+    auto a2a = c.alltoall(std::vector<std::vector<int>>{{5}});
+    EXPECT_EQ(a2a[0][0], 5);
+  });
+}
+
+}  // namespace
+}  // namespace mc::transport

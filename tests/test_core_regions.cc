@@ -1,0 +1,263 @@
+// Unit tests for Meta-Chaos regions, SetOfRegions, serialization, registry,
+// and adapter inquiry functions.
+#include <gtest/gtest.h>
+
+#include "chaos/partition.h"
+#include "core/adapters/chaos_adapter.h"
+#include "core/adapters/hpf_adapter.h"
+#include "core/adapters/parti_adapter.h"
+#include "core/adapters/tulip_adapter.h"
+#include "core/registry.h"
+#include "transport/world.h"
+
+namespace mc::core {
+namespace {
+
+using layout::Index;
+using layout::Point;
+using layout::RegularSection;
+using layout::Shape;
+using transport::Comm;
+using transport::World;
+
+TEST(Region, SectionCount) {
+  const Region r = Region::section(RegularSection::of({0, 0}, {4, 9}, {1, 2}));
+  EXPECT_EQ(r.kind(), Region::Kind::kSection);
+  EXPECT_EQ(r.numElements(), 25);
+  EXPECT_THROW(r.asIndices(), Error);
+  EXPECT_THROW(r.asRange(), Error);
+}
+
+TEST(Region, IndicesCount) {
+  const Region r = Region::indices({5, 3, 9, 9, 1});
+  EXPECT_EQ(r.kind(), Region::Kind::kIndices);
+  EXPECT_EQ(r.numElements(), 5);  // listed order, duplicates allowed by count
+  EXPECT_THROW(r.asSection(), Error);
+}
+
+TEST(Region, RangeCount) {
+  const Region r = Region::range(2, 10, 3);  // 2, 5, 8
+  EXPECT_EQ(r.numElements(), 3);
+  EXPECT_EQ(r.asRange().at(2), 8);
+  EXPECT_THROW(Region::range(0, 5, 0), Error);
+}
+
+TEST(Region, EmptyRange) {
+  EXPECT_EQ(Region::range(5, 4).numElements(), 0);
+}
+
+TEST(SetOfRegions, ConcatenatesCounts) {
+  SetOfRegions set;
+  set.add(Region::section(RegularSection::box({0, 0}, {2, 2})));
+  set.add(Region::section(RegularSection::box({5, 5}, {6, 8})));
+  EXPECT_EQ(set.numElements(), 9 + 8);
+  EXPECT_EQ(set.kind(), Region::Kind::kSection);
+}
+
+TEST(SetOfRegions, RejectsMixedKinds) {
+  SetOfRegions set;
+  set.add(Region::indices({1, 2}));
+  EXPECT_THROW(set.add(Region::range(0, 3)), Error);
+}
+
+TEST(SetOfRegions, EmptyHasNoKind) {
+  SetOfRegions set;
+  EXPECT_EQ(set.numElements(), 0);
+  EXPECT_THROW(set.kind(), Error);
+}
+
+TEST(SetOfRegions, SerializationRoundTrip) {
+  {
+    SetOfRegions set;
+    set.add(Region::section(RegularSection::of({1, 2}, {9, 8}, {2, 3})));
+    set.add(Region::section(RegularSection::box({0, 0}, {3, 3})));
+    const SetOfRegions back = deserializeSet(serializeSet(set));
+    ASSERT_EQ(back.regions().size(), 2u);
+    EXPECT_EQ(back.regions()[0].asSection(),
+              RegularSection::of({1, 2}, {9, 8}, {2, 3}));
+    EXPECT_EQ(back.numElements(), set.numElements());
+  }
+  {
+    SetOfRegions set;
+    set.add(Region::indices({7, 1, 4}));
+    const SetOfRegions back = deserializeSet(serializeSet(set));
+    EXPECT_EQ(back.regions()[0].asIndices(), (std::vector<Index>{7, 1, 4}));
+  }
+  {
+    SetOfRegions set;
+    set.add(Region::range(3, 30, 4));
+    const SetOfRegions back = deserializeSet(serializeSet(set));
+    EXPECT_EQ(back.regions()[0].asRange().stride, 4);
+    EXPECT_EQ(back.numElements(), set.numElements());
+  }
+}
+
+TEST(SetOfRegions, DeserializeRejectsGarbage) {
+  std::vector<std::byte> junk(13, std::byte{0x5a});
+  EXPECT_THROW(deserializeSet(junk), Error);
+}
+
+TEST(Registry, BuiltinsRegistered) {
+  registerBuiltinAdapters();
+  Registry& r = Registry::instance();
+  for (const char* name : {"parti", "hpf", "chaos", "pc++"}) {
+    ASSERT_TRUE(r.has(name)) << name;
+    EXPECT_EQ(r.get(name).name(), name);
+  }
+  EXPECT_FALSE(r.has("petsc"));
+  EXPECT_THROW(r.get("petsc"), Error);
+}
+
+TEST(DistObject, TypeSafety) {
+  auto desc = std::make_shared<const tulip::TulipDesc>(
+      tulip::TulipDesc{10, 2, tulip::Placement::kBlock});
+  DistObject obj("pc++", desc);
+  EXPECT_EQ(obj.as<tulip::TulipDesc>().size, 10);
+  EXPECT_THROW(obj.as<hpfrt::HpfDist>(), Error);
+}
+
+TEST(PartiAdapter, EnumerationOrderIsRowMajorConcat) {
+  // Mirrors the paper's Figures 4-5: two regions rA1, rA2 of array A; the
+  // set linearization is rA1's row-major order followed by rA2's.
+  const PartiAdapter adapter;
+  auto desc = std::make_shared<const parti::PartiDesc>(
+      parti::PartiDesc{layout::BlockDecomp(Shape::of({7, 9}), {1, 1}), 0});
+  const DistObject obj("parti", desc);
+  SetOfRegions set;
+  // rA1 = rows 1..3, cols 4..6 (0-based for the paper's a25..a47 block)
+  set.add(Region::section(RegularSection::box({1, 4}, {3, 6})));
+  // rA2 = rows 2..5, cols 1..2
+  set.add(Region::section(RegularSection::box({2, 1}, {5, 2})));
+  std::vector<std::pair<Index, Index>> seen;  // (lin, offset)
+  adapter.enumerateAll(obj, set, [&](Index lin, int owner, Index off) {
+    EXPECT_EQ(owner, 0);
+    seen.emplace_back(lin, off);
+  });
+  ASSERT_EQ(seen.size(), 9u + 8u);
+  // First element of the linearization is a(1,4) -> offset 1*9+4.
+  EXPECT_EQ(seen[0], (std::pair<Index, Index>{0, 13}));
+  // Last of rA1 is a(3,6) -> 33; first of rA2 is a(2,1) -> 19.
+  EXPECT_EQ(seen[8], (std::pair<Index, Index>{8, 33}));
+  EXPECT_EQ(seen[9], (std::pair<Index, Index>{9, 19}));
+  // Positions strictly increase.
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].first, static_cast<Index>(i));
+  }
+}
+
+TEST(PartiAdapter, ValidateBounds) {
+  const PartiAdapter adapter;
+  auto desc = std::make_shared<const parti::PartiDesc>(
+      parti::PartiDesc{layout::BlockDecomp(Shape::of({4, 4}), {1, 1}), 0});
+  const DistObject obj("parti", desc);
+  SetOfRegions bad;
+  bad.add(Region::section(RegularSection::box({0, 0}, {4, 3})));
+  EXPECT_THROW(adapter.validate(obj, bad), Error);
+  SetOfRegions wrongKind;
+  wrongKind.add(Region::indices({0}));
+  EXPECT_THROW(adapter.validate(obj, wrongKind), Error);
+}
+
+TEST(HpfAdapter, DescriptorRoundTrip) {
+  World::runSPMD(1, [](Comm& c) {
+    const HpfAdapter adapter;
+    auto dist = std::make_shared<const hpfrt::HpfDist>(
+        Shape::of({12, 8}),
+        std::vector<hpfrt::DimDist>{
+            hpfrt::DimDist{hpfrt::DistKind::kBlockCyclic, 1, 3},
+            hpfrt::DimDist{hpfrt::DistKind::kCyclic, 1, 1}});
+    const DistObject obj("hpf", dist);
+    const DistObject back =
+        adapter.deserializeDesc(adapter.serializeDesc(obj, c));
+    const auto& d = back.as<hpfrt::HpfDist>();
+    EXPECT_EQ(d.globalShape(), Shape::of({12, 8}));
+    EXPECT_EQ(d.dims()[0].kind, hpfrt::DistKind::kBlockCyclic);
+    EXPECT_EQ(d.dims()[0].param, 3);
+  });
+}
+
+TEST(PartiAdapter, DescriptorRoundTrip) {
+  World::runSPMD(1, [](Comm& c) {
+    const PartiAdapter adapter;
+    auto desc = std::make_shared<const parti::PartiDesc>(
+        parti::PartiDesc{layout::BlockDecomp(Shape::of({16, 32}), {2, 2}), 2});
+    const DistObject obj("parti", desc);
+    const DistObject back =
+        adapter.deserializeDesc(adapter.serializeDesc(obj, c));
+    const auto& d = back.as<parti::PartiDesc>();
+    EXPECT_EQ(d.ghost, 2);
+    EXPECT_EQ(d.decomp.grid(), (std::vector<int>{2, 2}));
+    EXPECT_EQ(d.decomp.globalShape(), Shape::of({16, 32}));
+  });
+}
+
+TEST(TulipAdapter, DescriptorRoundTrip) {
+  World::runSPMD(1, [](Comm& c) {
+    const TulipAdapter adapter;
+    auto desc = std::make_shared<const tulip::TulipDesc>(
+        tulip::TulipDesc{100, 4, tulip::Placement::kCyclic});
+    const DistObject obj("pc++", desc);
+    const DistObject back =
+        adapter.deserializeDesc(adapter.serializeDesc(obj, c));
+    const auto& d = back.as<tulip::TulipDesc>();
+    EXPECT_EQ(d.size, 100);
+    EXPECT_EQ(d.placement, tulip::Placement::kCyclic);
+  });
+}
+
+TEST(ChaosAdapter, DescriptorRoundTripShipsWholeTable) {
+  World::runSPMD(2, [](Comm& c) {
+    const ChaosAdapter adapter;
+    const Index n = 30;
+    const auto mine = chaos::randomPartition(n, c.size(), c.rank(), 11);
+    auto table = std::make_shared<const chaos::TranslationTable>(
+        chaos::TranslationTable::build(
+            c, mine, n, chaos::TranslationTable::Storage::kDistributed));
+    const DistObject obj("chaos", table);
+    const auto bytes = adapter.serializeDesc(obj, c);
+    // O(global size): the cost the paper flags for duplication with Chaos.
+    EXPECT_GE(bytes.size(), n * sizeof(chaos::ElementLoc));
+    const DistObject back = adapter.deserializeDesc(bytes);
+    const auto& t = back.as<chaos::TranslationTable>();
+    EXPECT_EQ(t.storage(), chaos::TranslationTable::Storage::kReplicated);
+    EXPECT_EQ(t.globalSize(), n);
+    for (Index g = 0; g < n; ++g) {
+      const auto want = table->dereference(c, std::vector<Index>{g})[0];
+      EXPECT_EQ(t.dereferenceLocal(g), want);
+    }
+  });
+}
+
+TEST(ChaosAdapter, EnumerateOwnedSortedAndComplete) {
+  World::runSPMD(3, [](Comm& c) {
+    const ChaosAdapter adapter;
+    const Index n = 40;
+    const auto mine = chaos::cyclicPartition(n, c.size(), c.rank());
+    auto table = std::make_shared<const chaos::TranslationTable>(
+        chaos::TranslationTable::build(
+            c, mine, n, chaos::TranslationTable::Storage::kDistributed));
+    const DistObject obj("chaos", table);
+    SetOfRegions set;
+    std::vector<Index> ids;
+    for (Index g = n - 1; g >= 0; --g) ids.push_back(g);  // reversed order
+    set.add(Region::indices(ids));
+    const auto owned = adapter.enumerateOwned(obj, set, c);
+    // Sorted by linearization position.
+    for (size_t i = 1; i < owned.size(); ++i) {
+      EXPECT_LT(owned[i - 1].lin, owned[i].lin);
+    }
+    // Every processor owns exactly its share.
+    EXPECT_EQ(static_cast<Index>(owned.size()),
+              table->localCount(c.rank()));
+    // lin k refers to global n-1-k; the offset must match my assignment
+    // (mine[offset] is the global index stored there).
+    for (const LinLoc& ll : owned) {
+      const Index g = n - 1 - ll.lin;
+      ASSERT_LT(static_cast<size_t>(ll.offset), mine.size());
+      EXPECT_EQ(mine[static_cast<size_t>(ll.offset)], g);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mc::core

@@ -1,0 +1,78 @@
+// Tests for the workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "meshgen/meshgen.h"
+
+namespace mc::meshgen {
+namespace {
+
+using layout::Index;
+
+TEST(GridEdges, CountAndEndpoints) {
+  const EdgeList e = gridEdges(3, 4);
+  // Horizontal: 3*(4-1)=9, vertical: (3-1)*4=8.
+  EXPECT_EQ(e.numEdges(), 17);
+  for (Index k = 0; k < e.numEdges(); ++k) {
+    EXPECT_GE(e.ia[static_cast<size_t>(k)], 0);
+    EXPECT_LT(e.ia[static_cast<size_t>(k)], 12);
+    EXPECT_LT(e.ib[static_cast<size_t>(k)], 12);
+    // Grid edges connect neighbours: ids differ by 1 or by #cols.
+    const Index d = e.ib[static_cast<size_t>(k)] - e.ia[static_cast<size_t>(k)];
+    EXPECT_TRUE(d == 1 || d == 4) << "edge " << k;
+  }
+}
+
+TEST(GridEdges, NoDuplicates) {
+  const EdgeList e = gridEdges(5, 5);
+  std::set<std::pair<Index, Index>> seen;
+  for (Index k = 0; k < e.numEdges(); ++k) {
+    EXPECT_TRUE(seen.insert({e.ia[static_cast<size_t>(k)],
+                             e.ib[static_cast<size_t>(k)]}).second);
+  }
+}
+
+TEST(Renumber, PreservesStructure) {
+  const EdgeList e = gridEdges(4, 4);
+  const auto perm = nodePermutation(16, 99);
+  const EdgeList r = renumberNodes(e, perm);
+  ASSERT_EQ(r.numEdges(), e.numEdges());
+  for (Index k = 0; k < e.numEdges(); ++k) {
+    EXPECT_EQ(r.ia[static_cast<size_t>(k)],
+              perm[static_cast<size_t>(e.ia[static_cast<size_t>(k)])]);
+    EXPECT_EQ(r.ib[static_cast<size_t>(k)],
+              perm[static_cast<size_t>(e.ib[static_cast<size_t>(k)])]);
+  }
+}
+
+TEST(Permutation, DeterministicAndComplete) {
+  const auto p1 = nodePermutation(100, 5);
+  const auto p2 = nodePermutation(100, 5);
+  EXPECT_EQ(p1, p2);
+  std::set<Index> seen(p1.begin(), p1.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(InterfaceMapping, FullRemapStructure) {
+  const auto perm = nodePermutation(12, 4);
+  const InterfaceMapping m = regToIrregMapping(3, 4, perm);
+  EXPECT_EQ(m.size(), 12);
+  std::set<Index> irregSeen;
+  for (Index k = 0; k < m.size(); ++k) {
+    EXPECT_EQ(m.reg1[static_cast<size_t>(k)], k / 4);
+    EXPECT_EQ(m.reg2[static_cast<size_t>(k)], k % 4);
+    EXPECT_EQ(m.irreg[static_cast<size_t>(k)], perm[static_cast<size_t>(k)]);
+    irregSeen.insert(m.irreg[static_cast<size_t>(k)]);
+  }
+  EXPECT_EQ(irregSeen.size(), 12u);  // bijective interface
+}
+
+TEST(InterfaceMapping, RejectsWrongPermSize) {
+  EXPECT_THROW(regToIrregMapping(3, 4, nodePermutation(11, 1)), Error);
+}
+
+}  // namespace
+}  // namespace mc::meshgen

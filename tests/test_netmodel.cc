@@ -1,0 +1,130 @@
+// Tests for the network cost model: parameter selection by endpoint
+// placement, transfer-time arithmetic, and link contention.
+#include <gtest/gtest.h>
+
+#include "transport/netmodel.h"
+#include "transport/world.h"
+
+namespace mc::transport {
+namespace {
+
+TEST(NetParams, TransferTime) {
+  NetParams p{1e-3, 1e6, 0, 0};
+  EXPECT_DOUBLE_EQ(p.transferTime(0), 1e-3);
+  EXPECT_DOUBLE_EQ(p.transferTime(1000000), 1e-3 + 1.0);
+}
+
+NetworkModel makeModel(NetConfig cfg, std::vector<int> nodeOf,
+                       std::vector<int> programOf) {
+  return NetworkModel(std::move(cfg), std::move(nodeOf), std::move(programOf));
+}
+
+TEST(NetworkModel, ParamsByPlacement) {
+  NetConfig cfg;
+  cfg.intraNode = NetParams{1, 1, 0, 0};
+  cfg.interNode = NetParams{2, 1, 0, 0};
+  cfg.interProgram = NetParams{3, 1, 0, 0};
+  // ranks: 0,1 on node0 prog0; 2 on node1 prog0; 3 on node2 prog1
+  auto m = makeModel(cfg, {0, 0, 1, 2}, {0, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(m.paramsFor(0, 1).latency, 1);
+  EXPECT_DOUBLE_EQ(m.paramsFor(0, 2).latency, 2);
+  EXPECT_DOUBLE_EQ(m.paramsFor(0, 3).latency, 3);
+  EXPECT_DOUBLE_EQ(m.paramsFor(3, 1).latency, 3);
+}
+
+TEST(NetworkModel, SelfMessageInstant) {
+  auto m = makeModel(NetConfig{}, {0, 1}, {0, 0});
+  EXPECT_DOUBLE_EQ(m.arrival(5.0, 0, 0, 1 << 20), 5.0);
+}
+
+TEST(NetworkModel, ArrivalWithoutContention) {
+  NetConfig cfg;
+  cfg.interNode = NetParams{1e-3, 1e6, 0, 0};
+  cfg.contention = false;
+  auto m = makeModel(cfg, {0, 1}, {0, 0});
+  EXPECT_DOUBLE_EQ(m.arrival(0.0, 0, 1, 1000), 1e-3 + 1e-3);
+  EXPECT_DOUBLE_EQ(m.senderOccupancy(0, 1, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(m.receiverOccupancy(0, 1, 1000), 0.0);
+}
+
+TEST(NetworkModel, ContentionChargesBothNics) {
+  NetConfig cfg;
+  cfg.interNode = NetParams{1e-3, 1e6, 0, 0};
+  cfg.contention = true;
+  auto m = makeModel(cfg, {0, 1, 2}, {0, 0, 0});
+  // One process per node: the transmit time (1 ms) occupies the sender NIC
+  // and the receive time occupies the receiver NIC; only latency rides on
+  // the arrival.
+  EXPECT_DOUBLE_EQ(m.senderOccupancy(0, 1, 1000), 1e-3);
+  EXPECT_DOUBLE_EQ(m.receiverOccupancy(0, 1, 1000), 1e-3);
+  EXPECT_DOUBLE_EQ(m.arrival(5.0, 0, 1, 1000), 5.0 + 1e-3);
+}
+
+TEST(NetworkModel, ContentionScalesWithNodeSharing) {
+  // Two processes sharing the sender node halve its NIC rate.
+  NetConfig cfg;
+  cfg.interNode = NetParams{0.0, 1e6, 0, 0};
+  cfg.contention = true;
+  auto m = makeModel(cfg, {0, 0, 1}, {0, 0, 0});
+  EXPECT_DOUBLE_EQ(m.senderOccupancy(0, 2, 1000), 2e-3);
+  EXPECT_DOUBLE_EQ(m.receiverOccupancy(0, 2, 1000), 1e-3);
+}
+
+TEST(NetworkModel, SameNodeSkipsContention) {
+  NetConfig cfg;
+  cfg.intraNode = NetParams{1e-6, 1e9, 0, 0};
+  cfg.contention = true;
+  auto m = makeModel(cfg, {0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(m.senderOccupancy(0, 1, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(m.receiverOccupancy(0, 1, 1000), 0.0);
+}
+
+TEST(NetworkModel, ContentionIsDeterministic) {
+  // The occupancy model holds no shared state: identical queries give
+  // identical answers regardless of call order.
+  NetConfig cfg;
+  cfg.interNode = NetParams{1e-4, 1e7, 0, 0};
+  cfg.contention = true;
+  auto m = makeModel(cfg, {0, 1, 2, 3}, {0, 0, 0, 0});
+  const double a = m.arrival(0.25, 1, 3, 4096);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(m.arrival(0.25, 1, 3, 4096), a);
+    EXPECT_DOUBLE_EQ(m.arrival(0.0, 2, 0, 100), 1e-4);
+  }
+}
+
+TEST(World, NodesPerProgramPlacement) {
+  // 4 procs on 2 nodes: ranks 0,2 -> node 0; ranks 1,3 -> node 1 (cyclic).
+  WorldOptions o;
+  o.net.nodesPerProgram = {2};
+  o.net.intraNode = NetParams{1.0, 1e12, 0, 0};
+  o.net.interNode = NetParams{2.0, 1e12, 0, 0};
+  World::runSPMD(4, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(2, 1, 0);  // same node: latency 1
+      c.sendValue(1, 2, 0);  // different node: latency 2
+    } else if (c.rank() == 2) {
+      c.recvValue<int>(0, 1);
+      EXPECT_NEAR(c.now(), 1.0, 1e-9);
+    } else if (c.rank() == 1) {
+      c.recvValue<int>(0, 2);
+      EXPECT_NEAR(c.now(), 2.0, 1e-9);
+    }
+  }, o);
+}
+
+TEST(World, InterProgramParamsApply) {
+  WorldOptions o;
+  o.net.interProgram = NetParams{7.0, 1e12, 0, 0};
+  World::run({
+      ProgramSpec{"a", 1, [](Comm& c) { c.sendValueTo(1, 0, 1, 5); }},
+      ProgramSpec{"b", 1,
+                  [](Comm& c) {
+                    EXPECT_EQ(c.recvValueFrom<int>(0, 0, 1), 5);
+                    EXPECT_NEAR(c.now(), 7.0, 1e-9);
+                  }},
+  }, o);
+}
+
+}  // namespace
+}  // namespace mc::transport

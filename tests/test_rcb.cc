@@ -1,0 +1,180 @@
+// Tests for the recursive-coordinate-bisection partitioner and mesh
+// coordinates, including an end-to-end edge sweep over an RCB-partitioned
+// unstructured mesh (the realistic Chaos usage: a geometric partitioner
+// feeds the runtime).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "chaos/irregular_loop.h"
+#include "chaos/partition.h"
+#include "meshgen/meshgen.h"
+#include "transport/world.h"
+
+namespace mc::chaos {
+namespace {
+
+using layout::Index;
+using transport::Comm;
+using transport::World;
+
+std::pair<std::vector<double>, std::vector<double>> gridCoords(Index side,
+                                                               std::uint64_t seed) {
+  const auto perm = meshgen::nodePermutation(side * side, seed);
+  auto coords = meshgen::gridCoordinates(side, side, perm);
+  return {std::move(coords.x), std::move(coords.y)};
+}
+
+TEST(Rcb, CoversExactlyOnce) {
+  const auto [x, y] = gridCoords(9, 3);
+  for (int np : {1, 2, 3, 7, 8}) {
+    std::set<Index> seen;
+    for (int r = 0; r < np; ++r) {
+      for (Index g : rcbPartition(x, y, np, r)) {
+        EXPECT_TRUE(seen.insert(g).second);
+      }
+    }
+    EXPECT_EQ(seen.size(), x.size());
+  }
+}
+
+TEST(Rcb, BalancedParts) {
+  const auto [x, y] = gridCoords(16, 5);
+  const int np = 8;
+  for (int r = 0; r < np; ++r) {
+    const auto mine = rcbPartition(x, y, np, r);
+    EXPECT_NEAR(static_cast<double>(mine.size()), 256.0 / np, 1.0);
+  }
+}
+
+TEST(Rcb, Deterministic) {
+  const auto [x, y] = gridCoords(8, 9);
+  EXPECT_EQ(rcbPartition(x, y, 4, 2), rcbPartition(x, y, 4, 2));
+}
+
+TEST(Rcb, PartsAreSpatiallyCompact) {
+  // Each RCB part's bounding box must be much smaller than the domain: the
+  // whole point of a geometric partitioner.
+  const Index side = 16;
+  const auto [x, y] = gridCoords(side, 1);
+  const int np = 4;
+  for (int r = 0; r < np; ++r) {
+    const auto mine = rcbPartition(x, y, np, r);
+    double xMin = 1e9, xMax = -1e9, yMin = 1e9, yMax = -1e9;
+    for (Index g : mine) {
+      xMin = std::min(xMin, x[static_cast<size_t>(g)]);
+      xMax = std::max(xMax, x[static_cast<size_t>(g)]);
+      yMin = std::min(yMin, y[static_cast<size_t>(g)]);
+      yMax = std::max(yMax, y[static_cast<size_t>(g)]);
+    }
+    const double area = (xMax - xMin + 1) * (yMax - yMin + 1);
+    // A quadrant-ish part covers ~1/4 of the domain, far below the whole.
+    EXPECT_LE(area, 0.6 * side * side) << "rank " << r;
+  }
+}
+
+TEST(Rcb, DegenerateInputs) {
+  std::vector<double> x{0.5}, y{0.5};
+  EXPECT_EQ(rcbPartition(x, y, 1, 0), (std::vector<Index>{0}));
+  // More parts than points: someone gets nothing, everything covered once.
+  std::set<Index> seen;
+  for (int r = 0; r < 4; ++r) {
+    for (Index g : rcbPartition(x, y, 4, r)) seen.insert(g);
+  }
+  EXPECT_EQ(seen.size(), 1u);
+  // Empty input.
+  EXPECT_TRUE(rcbPartition({}, {}, 3, 1).empty());
+  // Mismatched coordinates.
+  std::vector<double> bad{1.0, 2.0};
+  EXPECT_THROW(rcbPartition(x, bad, 2, 0), Error);
+}
+
+TEST(Rcb, CutsReduceEdgeCuts) {
+  // On a grid graph, RCB should cut far fewer edges than a random
+  // partition — the property that makes it the realistic choice.
+  const Index side = 16;
+  const Index n = side * side;
+  const std::uint64_t seed = 11;
+  const auto perm = meshgen::nodePermutation(n, seed);
+  const auto edges = meshgen::renumberNodes(meshgen::gridEdges(side, side), perm);
+  const auto coords = meshgen::gridCoordinates(side, side, perm);
+  const int np = 4;
+  auto countCuts = [&](auto partitionOf) {
+    Index cuts = 0;
+    for (Index e = 0; e < edges.numEdges(); ++e) {
+      if (partitionOf(edges.ia[static_cast<size_t>(e)]) !=
+          partitionOf(edges.ib[static_cast<size_t>(e)])) {
+        ++cuts;
+      }
+    }
+    return cuts;
+  };
+  std::vector<int> rcbOwner(static_cast<size_t>(n));
+  for (int r = 0; r < np; ++r) {
+    for (Index g : rcbPartition(coords.x, coords.y, np, r)) {
+      rcbOwner[static_cast<size_t>(g)] = r;
+    }
+  }
+  std::vector<int> rndOwner(static_cast<size_t>(n));
+  for (int r = 0; r < np; ++r) {
+    for (Index g : randomPartition(n, np, r, seed)) {
+      rndOwner[static_cast<size_t>(g)] = r;
+    }
+  }
+  const Index rcbCuts = countCuts([&](Index v) { return rcbOwner[static_cast<size_t>(v)]; });
+  const Index rndCuts = countCuts([&](Index v) { return rndOwner[static_cast<size_t>(v)]; });
+  EXPECT_LT(rcbCuts * 4, rndCuts) << "rcb=" << rcbCuts << " rnd=" << rndCuts;
+}
+
+TEST(Rcb, EdgeSweepOverRcbPartitionMatchesOracle) {
+  const Index side = 8;
+  const Index n = side * side;
+  const std::uint64_t seed = 21;
+  const auto perm = meshgen::nodePermutation(n, seed);
+  const auto edges = meshgen::renumberNodes(meshgen::gridEdges(side, side), perm);
+  const auto coords = meshgen::gridCoordinates(side, side, perm);
+
+  // Serial oracle.
+  std::vector<double> xs(static_cast<size_t>(n)), ys(static_cast<size_t>(n), 0.0);
+  for (Index v = 0; v < n; ++v) xs[static_cast<size_t>(v)] = std::sqrt(1.0 + v);
+  for (Index e = 0; e < edges.numEdges(); ++e) {
+    const double contrib = (xs[static_cast<size_t>(edges.ia[static_cast<size_t>(e)])] +
+                            xs[static_cast<size_t>(edges.ib[static_cast<size_t>(e)])]) / 4.0;
+    ys[static_cast<size_t>(edges.ia[static_cast<size_t>(e)])] += contrib;
+    ys[static_cast<size_t>(edges.ib[static_cast<size_t>(e)])] += contrib;
+  }
+
+  World::runSPMD(4, [&](Comm& c) {
+    const auto mine = rcbPartition(coords.x, coords.y, c.size(), c.rank());
+    auto table = std::make_shared<const TranslationTable>(TranslationTable::build(
+        c, mine, n, TranslationTable::Storage::kDistributed));
+    IrregArray<double> x(c, table, mine), y(c, table, mine);
+    x.fillByGlobal([](Index g) { return std::sqrt(1.0 + g); });
+    const auto myEdges = blockPartition(edges.numEdges(), c.size(), c.rank());
+    std::vector<Index> ia, ib;
+    for (Index e : myEdges) {
+      ia.push_back(edges.ia[static_cast<size_t>(e)]);
+      ib.push_back(edges.ib[static_cast<size_t>(e)]);
+    }
+    EdgeSweep<double> sweep(c, *table, ia, ib);
+    sweep.run(x, y);
+    const auto got = y.gatherGlobal();
+    for (Index v = 0; v < n; ++v) {
+      EXPECT_NEAR(got[static_cast<size_t>(v)], ys[static_cast<size_t>(v)], 1e-9);
+    }
+  });
+}
+
+TEST(GridCoordinates, InverseOfPermutation) {
+  const auto perm = meshgen::nodePermutation(12, 4);
+  const auto coords = meshgen::gridCoordinates(3, 4, perm);
+  for (Index k = 0; k < 12; ++k) {
+    const auto id = static_cast<size_t>(perm[static_cast<size_t>(k)]);
+    EXPECT_DOUBLE_EQ(coords.x[id], static_cast<double>(k % 4));
+    EXPECT_DOUBLE_EQ(coords.y[id], static_cast<double>(k / 4));
+  }
+}
+
+}  // namespace
+}  // namespace mc::chaos

@@ -1,0 +1,125 @@
+// Unit tests for src/util.
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/format.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mc {
+namespace {
+
+TEST(Format, Basic) {
+  EXPECT_EQ(strprintf("x=%d y=%s", 7, "ab"), "x=7 y=ab");
+  EXPECT_EQ(strprintf("%.2f", 1.2345), "1.23");
+}
+
+TEST(Format, Empty) { EXPECT_EQ(strprintf("%s", ""), ""); }
+
+TEST(Format, Long) {
+  std::string big(10000, 'z');
+  EXPECT_EQ(strprintf("%s", big.c_str()).size(), 10000u);
+}
+
+TEST(Error, RequirePassesThrough) {
+  EXPECT_NO_THROW(MC_REQUIRE(1 + 1 == 2));
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    MC_REQUIRE(false, "bad value %d", 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad value 42"), std::string::npos);
+    EXPECT_NE(what.find("requirement failed"), std::string::npos);
+  }
+}
+
+TEST(Error, RequireThrowsWithoutMessage) {
+  EXPECT_THROW(MC_REQUIRE(false), Error);
+}
+
+TEST(Stats, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, KnownValues) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng r(11);
+  auto p = r.permutation(257);
+  std::vector<bool> seen(257, false);
+  for (auto x : p) {
+    ASSERT_LT(x, 257u);
+    EXPECT_FALSE(seen[x]);
+    seen[x] = true;
+  }
+}
+
+TEST(Rng, PermutationNotIdentity) {
+  Rng r(13);
+  auto p = r.permutation(100);
+  bool moved = false;
+  for (std::uint64_t i = 0; i < 100; ++i) moved |= (p[i] != i);
+  EXPECT_TRUE(moved);
+}
+
+TEST(Table, RendersAligned) {
+  AsciiTable t;
+  t.header({"method", "P=2", "P=4"});
+  t.row({"chaos", "1099", "830"});
+  t.row({"meta-chaos", "1509", "832"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("meta-chaos"), std::string::npos);
+  // Columns align: both data rows place "P=2" numbers at the same offset.
+  const auto l1 = out.find("1099");
+  const auto l2 = out.find("1509");
+  const auto row1 = out.rfind('\n', l1);
+  const auto row2 = out.rfind('\n', l2);
+  EXPECT_EQ(l1 - row1, l2 - row2);
+}
+
+TEST(Table, SeparatorLine) {
+  AsciiTable t;
+  t.row({"a", "b"});
+  t.separator();
+  t.row({"c", "d"});
+  EXPECT_NE(t.render().find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mc

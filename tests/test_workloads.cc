@@ -1,0 +1,160 @@
+// Integration tests over the experiment workloads: the Figure-1 coupled
+// meshes and the client/server matvec session.  These pin down that every
+// benchmark configuration computes the *same numbers* regardless of method
+// or processor count.
+#include <gtest/gtest.h>
+
+#include "workloads/coupled_mesh.h"
+#include "workloads/matvec_session.h"
+
+namespace mc::workloads {
+namespace {
+
+using layout::Index;
+using transport::Comm;
+using transport::World;
+
+CoupledMeshConfig smallMesh() {
+  CoupledMeshConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  return cfg;
+}
+
+double runCoupledSteps(int np, int steps, core::Method method) {
+  double sum = 0;
+  World::runSPMD(np, [&](Comm& c) {
+    CoupledMesh mesh(c, smallMesh());
+    mesh.buildRegularInspector();
+    mesh.buildIrregularInspector();
+    mesh.buildMetaChaosCopySchedules(method);
+    for (int s = 0; s < steps; ++s) mesh.timeStepMC();
+    const double cs = mesh.checksum();
+    if (c.rank() == 0) sum = cs;
+  });
+  return sum;
+}
+
+TEST(CoupledMesh, ChecksumIndependentOfProcessorCount) {
+  const double ref = runCoupledSteps(1, 3, core::Method::kCooperation);
+  for (int np : {2, 4}) {
+    EXPECT_NEAR(runCoupledSteps(np, 3, core::Method::kCooperation), ref,
+                std::abs(ref) * 1e-12)
+        << "np=" << np;
+  }
+}
+
+TEST(CoupledMesh, MethodsAgree) {
+  CoupledMeshConfig cfg = smallMesh();
+  cfg.storage = chaos::TranslationTable::Storage::kReplicated;
+  double coop = 0, dup = 0;
+  World::runSPMD(3, [&](Comm& c) {
+    CoupledMesh mesh(c, cfg);
+    mesh.buildRegularInspector();
+    mesh.buildIrregularInspector();
+    mesh.buildMetaChaosCopySchedules(core::Method::kCooperation);
+    for (int s = 0; s < 2; ++s) mesh.timeStepMC();
+    if (c.rank() == 0) coop = mesh.checksum();
+    if (c.rank() != 0) mesh.checksum();
+  });
+  World::runSPMD(3, [&](Comm& c) {
+    CoupledMesh mesh(c, cfg);
+    mesh.buildRegularInspector();
+    mesh.buildIrregularInspector();
+    mesh.buildMetaChaosCopySchedules(core::Method::kDuplication);
+    for (int s = 0; s < 2; ++s) mesh.timeStepMC();
+    if (c.rank() == 0) dup = mesh.checksum();
+    if (c.rank() != 0) mesh.checksum();
+  });
+  EXPECT_DOUBLE_EQ(coop, dup);
+}
+
+TEST(CoupledMesh, ChaosBaselineMatchesMetaChaos) {
+  // Loops 2 and 4 via the Chaos-native path must move exactly the same data
+  // as the Meta-Chaos path.
+  double viaMc = 0, viaChaos = 0;
+  World::runSPMD(4, [&](Comm& c) {
+    CoupledMesh mesh(c, smallMesh());
+    mesh.buildRegularInspector();
+    mesh.buildIrregularInspector();
+    mesh.buildMetaChaosCopySchedules(core::Method::kCooperation);
+    for (int s = 0; s < 2; ++s) mesh.timeStepMC();
+    const double cs = mesh.checksum();
+    if (c.rank() == 0) viaMc = cs;
+  });
+  World::runSPMD(4, [&](Comm& c) {
+    CoupledMesh mesh(c, smallMesh());
+    mesh.buildRegularInspector();
+    mesh.buildIrregularInspector();
+    mesh.buildChaosCopySchedules();
+    for (int s = 0; s < 2; ++s) {
+      mesh.regularSweep();
+      mesh.copyRegToIrregChaos();
+      mesh.irregularSweep();
+      mesh.copyIrregToRegChaos();
+    }
+    const double cs = mesh.checksum();
+    if (c.rank() == 0) viaChaos = cs;
+  });
+  EXPECT_DOUBLE_EQ(viaMc, viaChaos);
+}
+
+TEST(CoupledMesh, InspectorsRequiredBeforeExecutors) {
+  World::runSPMD(1, [](Comm& c) {
+    CoupledMesh mesh(c, smallMesh());
+    EXPECT_THROW(mesh.regularSweep(), Error);
+    EXPECT_THROW(mesh.copyRegToIrregMC(), Error);
+    EXPECT_THROW(mesh.copyRegToIrregChaos(), Error);
+  });
+}
+
+TEST(MatvecSession, BreakdownIsPopulatedAndPositive) {
+  MatvecSessionConfig cfg;
+  cfg.n = 64;
+  cfg.clientProcs = 1;
+  cfg.serverProcs = 4;
+  cfg.numVectors = 3;
+  const MatvecBreakdown b = runMatvecSession(cfg);
+  EXPECT_GT(b.scheduleBuild, 0.0);
+  EXPECT_GT(b.sendMatrix, 0.0);
+  EXPECT_GT(b.serverCompute, 0.0);
+  EXPECT_GT(b.vectorExchange, 0.0);
+  EXPECT_GT(b.clientLocalMatvec, 0.0);
+  EXPECT_GT(b.total(), b.sendMatrix);
+}
+
+TEST(MatvecSession, ParallelClientWorks) {
+  MatvecSessionConfig cfg;
+  cfg.n = 48;
+  cfg.clientProcs = 2;
+  cfg.serverProcs = 3;
+  cfg.numVectors = 2;
+  const MatvecBreakdown b = runMatvecSession(cfg);
+  EXPECT_GT(b.total(), 0.0);
+}
+
+TEST(MatvecSession, DuplicationMethodWorks) {
+  MatvecSessionConfig cfg;
+  cfg.n = 32;
+  cfg.clientProcs = 1;
+  cfg.serverProcs = 2;
+  cfg.numVectors = 1;
+  cfg.method = core::Method::kDuplication;
+  const MatvecBreakdown b = runMatvecSession(cfg);
+  EXPECT_GT(b.total(), 0.0);
+}
+
+TEST(MatvecSession, BreakEvenArithmetic) {
+  MatvecBreakdown b;
+  b.scheduleBuild = 1.0;
+  b.sendMatrix = 1.0;
+  b.serverCompute = 0.2;
+  b.vectorExchange = 0.2;
+  b.clientLocalMatvec = 0.6;  // per-vector gain = 0.6 - 0.4 = 0.2
+  EXPECT_EQ(breakEvenVectors(b, 1), 10);  // 2.0 / 0.2
+  b.clientLocalMatvec = 0.3;  // gain negative -> never
+  EXPECT_EQ(breakEvenVectors(b, 1), 0);
+}
+
+}  // namespace
+}  // namespace mc::workloads

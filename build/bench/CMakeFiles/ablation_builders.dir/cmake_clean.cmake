@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_builders.dir/ablation_builders.cc.o"
+  "CMakeFiles/ablation_builders.dir/ablation_builders.cc.o.d"
+  "ablation_builders"
+  "ablation_builders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_builders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

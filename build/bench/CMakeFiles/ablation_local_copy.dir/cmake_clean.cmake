@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_local_copy.dir/ablation_local_copy.cc.o"
+  "CMakeFiles/ablation_local_copy.dir/ablation_local_copy.cc.o.d"
+  "ablation_local_copy"
+  "ablation_local_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ttable.dir/ablation_ttable.cc.o"
+  "CMakeFiles/ablation_ttable.dir/ablation_ttable.cc.o.d"
+  "ablation_ttable"
+  "ablation_ttable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ttable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

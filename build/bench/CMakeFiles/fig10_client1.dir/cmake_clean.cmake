@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_client1.dir/fig10_client1.cc.o"
+  "CMakeFiles/fig10_client1.dir/fig10_client1.cc.o.d"
+  "fig10_client1"
+  "fig10_client1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_client1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

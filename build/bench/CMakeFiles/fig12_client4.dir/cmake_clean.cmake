@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_client4.dir/fig12_client4.cc.o"
+  "CMakeFiles/fig12_client4.dir/fig12_client4.cc.o.d"
+  "fig12_client4"
+  "fig12_client4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_client4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

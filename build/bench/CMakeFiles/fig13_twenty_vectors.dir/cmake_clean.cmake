@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_twenty_vectors.dir/fig13_twenty_vectors.cc.o"
+  "CMakeFiles/fig13_twenty_vectors.dir/fig13_twenty_vectors.cc.o.d"
+  "fig13_twenty_vectors"
+  "fig13_twenty_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_twenty_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

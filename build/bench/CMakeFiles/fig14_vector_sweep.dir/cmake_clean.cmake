@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_vector_sweep.dir/fig14_vector_sweep.cc.o"
+  "CMakeFiles/fig14_vector_sweep.dir/fig14_vector_sweep.cc.o.d"
+  "fig14_vector_sweep"
+  "fig14_vector_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_vector_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

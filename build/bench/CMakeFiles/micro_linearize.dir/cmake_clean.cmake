@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_linearize.dir/micro_linearize.cc.o"
+  "CMakeFiles/micro_linearize.dir/micro_linearize.cc.o.d"
+  "micro_linearize"
+  "micro_linearize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_linearize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sweeps.dir/table1_sweeps.cc.o"
+  "CMakeFiles/table1_sweeps.dir/table1_sweeps.cc.o.d"
+  "table1_sweeps"
+  "table1_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

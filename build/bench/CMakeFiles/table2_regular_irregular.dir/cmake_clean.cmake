@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_regular_irregular.dir/table2_regular_irregular.cc.o"
+  "CMakeFiles/table2_regular_irregular.dir/table2_regular_irregular.cc.o.d"
+  "table2_regular_irregular"
+  "table2_regular_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_regular_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_two_program_schedule.dir/table3_two_program_schedule.cc.o"
+  "CMakeFiles/table3_two_program_schedule.dir/table3_two_program_schedule.cc.o.d"
+  "table3_two_program_schedule"
+  "table3_two_program_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_two_program_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

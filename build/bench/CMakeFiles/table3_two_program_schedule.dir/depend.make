@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_two_program_schedule.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_two_program_copy.dir/table4_two_program_copy.cc.o"
+  "CMakeFiles/table4_two_program_copy.dir/table4_two_program_copy.cc.o.d"
+  "table4_two_program_copy"
+  "table4_two_program_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_two_program_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

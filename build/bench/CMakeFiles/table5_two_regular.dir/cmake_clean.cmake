@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_two_regular.dir/table5_two_regular.cc.o"
+  "CMakeFiles/table5_two_regular.dir/table5_two_regular.cc.o.d"
+  "table5_two_regular"
+  "table5_two_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_two_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_remap.dir/adaptive_remap.cpp.o"
+  "CMakeFiles/adaptive_remap.dir/adaptive_remap.cpp.o.d"
+  "adaptive_remap"
+  "adaptive_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_coupling.dir/cfd_coupling.cpp.o"
+  "CMakeFiles/cfd_coupling.dir/cfd_coupling.cpp.o.d"
+  "cfd_coupling"
+  "cfd_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_tiles.dir/image_tiles.cpp.o"
+  "CMakeFiles/image_tiles.dir/image_tiles.cpp.o.d"
+  "image_tiles"
+  "image_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

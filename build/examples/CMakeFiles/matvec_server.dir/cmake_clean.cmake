@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matvec_server.dir/matvec_server.cpp.o"
+  "CMakeFiles/matvec_server.dir/matvec_server.cpp.o.d"
+  "matvec_server"
+  "matvec_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matvec_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiblock_cfd.dir/multiblock_cfd.cpp.o"
+  "CMakeFiles/multiblock_cfd.dir/multiblock_cfd.cpp.o.d"
+  "multiblock_cfd"
+  "multiblock_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiblock_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_program_coupling.dir/two_program_coupling.cpp.o"
+  "CMakeFiles/two_program_coupling.dir/two_program_coupling.cpp.o.d"
+  "two_program_coupling"
+  "two_program_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_program_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

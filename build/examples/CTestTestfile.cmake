@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "3")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cfd_coupling "/root/repo/build/examples/cfd_coupling" "3" "2" "24")
+set_tests_properties(example_cfd_coupling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_two_program "/root/repo/build/examples/two_program_coupling" "2" "3" "2" "24")
+set_tests_properties(example_two_program PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matvec_server "/root/repo/build/examples/matvec_server" "4" "2" "48")
+set_tests_properties(example_matvec_server PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_image_tiles "/root/repo/build/examples/image_tiles" "4" "2")
+set_tests_properties(example_image_tiles PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multiblock_cfd "/root/repo/build/examples/multiblock_cfd" "3" "2" "16")
+set_tests_properties(example_multiblock_cfd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_remap "/root/repo/build/examples/adaptive_remap" "3" "24")
+set_tests_properties(example_adaptive_remap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chaos/irreg_copy.cc" "src/chaos/CMakeFiles/mc_chaos.dir/irreg_copy.cc.o" "gcc" "src/chaos/CMakeFiles/mc_chaos.dir/irreg_copy.cc.o.d"
+  "/root/repo/src/chaos/localize.cc" "src/chaos/CMakeFiles/mc_chaos.dir/localize.cc.o" "gcc" "src/chaos/CMakeFiles/mc_chaos.dir/localize.cc.o.d"
+  "/root/repo/src/chaos/partition.cc" "src/chaos/CMakeFiles/mc_chaos.dir/partition.cc.o" "gcc" "src/chaos/CMakeFiles/mc_chaos.dir/partition.cc.o.d"
+  "/root/repo/src/chaos/ttable.cc" "src/chaos/CMakeFiles/mc_chaos.dir/ttable.cc.o" "gcc" "src/chaos/CMakeFiles/mc_chaos.dir/ttable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/mc_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

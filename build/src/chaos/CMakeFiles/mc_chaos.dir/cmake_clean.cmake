@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_chaos.dir/irreg_copy.cc.o"
+  "CMakeFiles/mc_chaos.dir/irreg_copy.cc.o.d"
+  "CMakeFiles/mc_chaos.dir/localize.cc.o"
+  "CMakeFiles/mc_chaos.dir/localize.cc.o.d"
+  "CMakeFiles/mc_chaos.dir/partition.cc.o"
+  "CMakeFiles/mc_chaos.dir/partition.cc.o.d"
+  "CMakeFiles/mc_chaos.dir/ttable.cc.o"
+  "CMakeFiles/mc_chaos.dir/ttable.cc.o.d"
+  "libmc_chaos.a"
+  "libmc_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

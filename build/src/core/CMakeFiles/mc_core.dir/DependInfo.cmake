@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adapters/chaos_adapter.cc" "src/core/CMakeFiles/mc_core.dir/adapters/chaos_adapter.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/adapters/chaos_adapter.cc.o.d"
+  "/root/repo/src/core/adapters/hpf_adapter.cc" "src/core/CMakeFiles/mc_core.dir/adapters/hpf_adapter.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/adapters/hpf_adapter.cc.o.d"
+  "/root/repo/src/core/adapters/parti_adapter.cc" "src/core/CMakeFiles/mc_core.dir/adapters/parti_adapter.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/adapters/parti_adapter.cc.o.d"
+  "/root/repo/src/core/adapters/tulip_adapter.cc" "src/core/CMakeFiles/mc_core.dir/adapters/tulip_adapter.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/adapters/tulip_adapter.cc.o.d"
+  "/root/repo/src/core/mc_api.cc" "src/core/CMakeFiles/mc_core.dir/mc_api.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/mc_api.cc.o.d"
+  "/root/repo/src/core/region.cc" "src/core/CMakeFiles/mc_core.dir/region.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/region.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/mc_core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/registry.cc.o.d"
+  "/root/repo/src/core/schedule_builder.cc" "src/core/CMakeFiles/mc_core.dir/schedule_builder.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/schedule_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chaos/CMakeFiles/mc_chaos.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpfrt/CMakeFiles/mc_hpfrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/parti/CMakeFiles/mc_parti.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/mc_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

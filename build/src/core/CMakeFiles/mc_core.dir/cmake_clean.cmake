@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_core.dir/adapters/chaos_adapter.cc.o"
+  "CMakeFiles/mc_core.dir/adapters/chaos_adapter.cc.o.d"
+  "CMakeFiles/mc_core.dir/adapters/hpf_adapter.cc.o"
+  "CMakeFiles/mc_core.dir/adapters/hpf_adapter.cc.o.d"
+  "CMakeFiles/mc_core.dir/adapters/parti_adapter.cc.o"
+  "CMakeFiles/mc_core.dir/adapters/parti_adapter.cc.o.d"
+  "CMakeFiles/mc_core.dir/adapters/tulip_adapter.cc.o"
+  "CMakeFiles/mc_core.dir/adapters/tulip_adapter.cc.o.d"
+  "CMakeFiles/mc_core.dir/mc_api.cc.o"
+  "CMakeFiles/mc_core.dir/mc_api.cc.o.d"
+  "CMakeFiles/mc_core.dir/region.cc.o"
+  "CMakeFiles/mc_core.dir/region.cc.o.d"
+  "CMakeFiles/mc_core.dir/registry.cc.o"
+  "CMakeFiles/mc_core.dir/registry.cc.o.d"
+  "CMakeFiles/mc_core.dir/schedule_builder.cc.o"
+  "CMakeFiles/mc_core.dir/schedule_builder.cc.o.d"
+  "libmc_core.a"
+  "libmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_hpfrt.dir/dist.cc.o"
+  "CMakeFiles/mc_hpfrt.dir/dist.cc.o.d"
+  "CMakeFiles/mc_hpfrt.dir/redistribute.cc.o"
+  "CMakeFiles/mc_hpfrt.dir/redistribute.cc.o.d"
+  "libmc_hpfrt.a"
+  "libmc_hpfrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_hpfrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

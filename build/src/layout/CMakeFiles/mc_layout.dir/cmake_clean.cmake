@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_layout.dir/block_decomp.cc.o"
+  "CMakeFiles/mc_layout.dir/block_decomp.cc.o.d"
+  "CMakeFiles/mc_layout.dir/section.cc.o"
+  "CMakeFiles/mc_layout.dir/section.cc.o.d"
+  "libmc_layout.a"
+  "libmc_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_meshgen.dir/meshgen.cc.o"
+  "CMakeFiles/mc_meshgen.dir/meshgen.cc.o.d"
+  "libmc_meshgen.a"
+  "libmc_meshgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_meshgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

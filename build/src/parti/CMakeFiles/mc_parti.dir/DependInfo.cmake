@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parti/ghost.cc" "src/parti/CMakeFiles/mc_parti.dir/ghost.cc.o" "gcc" "src/parti/CMakeFiles/mc_parti.dir/ghost.cc.o.d"
+  "/root/repo/src/parti/section_copy.cc" "src/parti/CMakeFiles/mc_parti.dir/section_copy.cc.o" "gcc" "src/parti/CMakeFiles/mc_parti.dir/section_copy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/mc_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

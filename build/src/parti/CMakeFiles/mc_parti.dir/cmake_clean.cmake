@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_parti.dir/ghost.cc.o"
+  "CMakeFiles/mc_parti.dir/ghost.cc.o.d"
+  "CMakeFiles/mc_parti.dir/section_copy.cc.o"
+  "CMakeFiles/mc_parti.dir/section_copy.cc.o.d"
+  "libmc_parti.a"
+  "libmc_parti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_parti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/comm.cc" "src/transport/CMakeFiles/mc_transport.dir/comm.cc.o" "gcc" "src/transport/CMakeFiles/mc_transport.dir/comm.cc.o.d"
+  "/root/repo/src/transport/mailbox.cc" "src/transport/CMakeFiles/mc_transport.dir/mailbox.cc.o" "gcc" "src/transport/CMakeFiles/mc_transport.dir/mailbox.cc.o.d"
+  "/root/repo/src/transport/netmodel.cc" "src/transport/CMakeFiles/mc_transport.dir/netmodel.cc.o" "gcc" "src/transport/CMakeFiles/mc_transport.dir/netmodel.cc.o.d"
+  "/root/repo/src/transport/world.cc" "src/transport/CMakeFiles/mc_transport.dir/world.cc.o" "gcc" "src/transport/CMakeFiles/mc_transport.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_transport.dir/comm.cc.o"
+  "CMakeFiles/mc_transport.dir/comm.cc.o.d"
+  "CMakeFiles/mc_transport.dir/mailbox.cc.o"
+  "CMakeFiles/mc_transport.dir/mailbox.cc.o.d"
+  "CMakeFiles/mc_transport.dir/netmodel.cc.o"
+  "CMakeFiles/mc_transport.dir/netmodel.cc.o.d"
+  "CMakeFiles/mc_transport.dir/world.cc.o"
+  "CMakeFiles/mc_transport.dir/world.cc.o.d"
+  "libmc_transport.a"
+  "libmc_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_util.dir/table.cc.o"
+  "CMakeFiles/mc_util.dir/table.cc.o.d"
+  "libmc_util.a"
+  "libmc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_workloads.dir/coupled_mesh.cc.o"
+  "CMakeFiles/mc_workloads.dir/coupled_mesh.cc.o.d"
+  "CMakeFiles/mc_workloads.dir/matvec_session.cc.o"
+  "CMakeFiles/mc_workloads.dir/matvec_session.cc.o.d"
+  "libmc_workloads.a"
+  "libmc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

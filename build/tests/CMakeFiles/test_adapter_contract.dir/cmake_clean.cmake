@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adapter_contract.dir/test_adapter_contract.cc.o"
+  "CMakeFiles/test_adapter_contract.dir/test_adapter_contract.cc.o.d"
+  "test_adapter_contract"
+  "test_adapter_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adapter_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

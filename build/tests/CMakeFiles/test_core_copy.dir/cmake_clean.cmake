@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_copy.dir/test_core_copy.cc.o"
+  "CMakeFiles/test_core_copy.dir/test_core_copy.cc.o.d"
+  "test_core_copy"
+  "test_core_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

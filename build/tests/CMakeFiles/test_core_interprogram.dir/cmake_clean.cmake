@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_interprogram.dir/test_core_interprogram.cc.o"
+  "CMakeFiles/test_core_interprogram.dir/test_core_interprogram.cc.o.d"
+  "test_core_interprogram"
+  "test_core_interprogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_interprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

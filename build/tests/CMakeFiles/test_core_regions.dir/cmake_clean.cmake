@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_regions.dir/test_core_regions.cc.o"
+  "CMakeFiles/test_core_regions.dir/test_core_regions.cc.o.d"
+  "test_core_regions"
+  "test_core_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_copy.dir/test_fuzz_copy.cc.o"
+  "CMakeFiles/test_fuzz_copy.dir/test_fuzz_copy.cc.o.d"
+  "test_fuzz_copy"
+  "test_fuzz_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpfrt.dir/test_hpfrt.cc.o"
+  "CMakeFiles/test_hpfrt.dir/test_hpfrt.cc.o.d"
+  "test_hpfrt"
+  "test_hpfrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpfrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

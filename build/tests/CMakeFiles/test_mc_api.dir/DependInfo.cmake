@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mc_api.cc" "tests/CMakeFiles/test_mc_api.dir/test_mc_api.cc.o" "gcc" "tests/CMakeFiles/test_mc_api.dir/test_mc_api.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/mc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parti/CMakeFiles/mc_parti.dir/DependInfo.cmake"
+  "/root/repo/build/src/chaos/CMakeFiles/mc_chaos.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpfrt/CMakeFiles/mc_hpfrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/meshgen/CMakeFiles/mc_meshgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/mc_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

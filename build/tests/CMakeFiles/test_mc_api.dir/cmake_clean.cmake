@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_api.dir/test_mc_api.cc.o"
+  "CMakeFiles/test_mc_api.dir/test_mc_api.cc.o.d"
+  "test_mc_api"
+  "test_mc_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meshgen.dir/test_meshgen.cc.o"
+  "CMakeFiles/test_meshgen.dir/test_meshgen.cc.o.d"
+  "test_meshgen"
+  "test_meshgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meshgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

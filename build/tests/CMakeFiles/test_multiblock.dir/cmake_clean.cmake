@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiblock.dir/test_multiblock.cc.o"
+  "CMakeFiles/test_multiblock.dir/test_multiblock.cc.o.d"
+  "test_multiblock"
+  "test_multiblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netmodel.dir/test_netmodel.cc.o"
+  "CMakeFiles/test_netmodel.dir/test_netmodel.cc.o.d"
+  "test_netmodel"
+  "test_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parti.dir/test_parti.cc.o"
+  "CMakeFiles/test_parti.dir/test_parti.cc.o.d"
+  "test_parti"
+  "test_parti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

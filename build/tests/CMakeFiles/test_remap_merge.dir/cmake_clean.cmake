@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remap_merge.dir/test_remap_merge.cc.o"
+  "CMakeFiles/test_remap_merge.dir/test_remap_merge.cc.o.d"
+  "test_remap_merge"
+  "test_remap_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remap_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tulip.dir/test_tulip.cc.o"
+  "CMakeFiles/test_tulip.dir/test_tulip.cc.o.d"
+  "test_tulip"
+  "test_tulip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tulip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

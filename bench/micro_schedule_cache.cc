@@ -1,0 +1,197 @@
+// Micro benchmark for the schedule cache and run-compressed execution.
+//
+// Part 1 (virtual time): a time-step loop that copies a regular mesh into an
+// irregular one, either rebuilding the schedule every step (the naive
+// pattern) or fetching it from the rank's ScheduleCache (build once, hit
+// thereafter).  The gap is the paper's amortization argument (Figure 15)
+// turned into a library default.
+//
+// Part 2 (wall clock): pack/unpack of a large section, element-by-element
+// versus run-compressed (one memcpy per contiguous run).  This measures the
+// real CPU cost of the executor fast path, independent of the network model.
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+
+#include "chaos/partition.h"
+#include "common/bench_util.h"
+#include "core/adapters/chaos_adapter.h"
+#include "core/adapters/parti_adapter.h"
+#include "core/copy_regions.h"
+#include "sched/run_plan.h"
+
+using namespace mc;
+using layout::Index;
+using layout::Point;
+using layout::RegularSection;
+using layout::Shape;
+
+namespace {
+
+constexpr int kProcs = 8;
+constexpr Index kSide = 96;  // 96x96 regular mesh -> 9216-point irregular mesh
+constexpr int kReps = 10;
+
+struct Setup {
+  parti::BlockDistArray<double> a;
+  std::shared_ptr<chaos::IrregArray<double>> x;
+  core::DistObject aObj, xObj;
+  core::SetOfRegions aSet, xSet;
+
+  static std::shared_ptr<chaos::IrregArray<double>> makeIrreg(
+      transport::Comm& c) {
+    const Index n = kSide * kSide;
+    const auto mine = chaos::randomPartition(n, c.size(), c.rank(), 42);
+    auto table = std::make_shared<const chaos::TranslationTable>(
+        chaos::TranslationTable::build(
+            c, mine, n, chaos::TranslationTable::Storage::kDistributed));
+    return std::make_shared<chaos::IrregArray<double>>(c, table, mine);
+  }
+
+  explicit Setup(transport::Comm& c)
+      : a(c, Shape::of({kSide, kSide}), /*ghost=*/1),
+        x(makeIrreg(c)),
+        aObj(core::PartiAdapter::describe(a)),
+        xObj(core::ChaosAdapter::describe(*x)) {
+    a.fillByPoint([](const Point& p) {
+      return static_cast<double>(p[0] * kSide + p[1]);
+    });
+    x->fillByGlobal([](Index) { return 0.0; });
+    aSet.add(core::Region::section(
+        RegularSection::box({0, 0}, {kSide - 1, kSide - 1})));
+    std::vector<Index> ids(static_cast<size_t>(kSide * kSide));
+    std::iota(ids.begin(), ids.end(), Index{0});
+    xSet.add(core::Region::indices(ids));
+  }
+};
+
+double wallNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  // --- Part 1: rebuild-per-copy vs cached-per-copy (virtual clock) --------
+  double tRebuild = 0, tCached = 0, tExecOnly = 0;
+  std::uint64_t hits = 0, misses = 0;
+  transport::World::runSPMD(kProcs, [&](transport::Comm& c) {
+    Setup s(c);
+    bench::PhaseTimer timer(c);
+
+    // Naive: a fresh inspector every time step.
+    for (int i = 0; i < kReps; ++i) {
+      const core::McSchedule sched = core::computeSchedule(
+          c, s.aObj, s.aSet, s.xObj, s.xSet, core::Method::kCooperation);
+      core::dataMove<double>(c, sched, s.a.raw(), s.x->raw());
+    }
+    const double t1 = timer.lap();
+
+    // Cached: the first step builds and inserts, the rest hit.
+    core::ScheduleCache cache;
+    for (int i = 0; i < kReps; ++i) {
+      core::copyRegions<double>(c, s.aObj, s.aSet, s.a.raw(), s.xObj, s.xSet,
+                                s.x->raw(), core::Method::kCooperation,
+                                &cache);
+    }
+    const double t2 = timer.lap();
+
+    // Floor: executor only, schedule in hand (what a hit costs minus the
+    // agreement round).
+    const auto sched = cache.getOrBuild(c, s.aObj, s.aSet, s.xObj, s.xSet);
+    timer.lap();
+    for (int i = 0; i < kReps; ++i) {
+      core::dataMove<double>(c, *sched, s.a.raw(), s.x->raw());
+    }
+    const double t3 = timer.lap();
+
+    if (c.rank() == 0) {
+      tRebuild = t1;
+      tCached = t2;
+      tExecOnly = t3;
+      hits = cache.stats().hits;
+      misses = cache.stats().misses;
+    }
+  });
+
+  std::printf("%s\n",
+              bench::renderTable(
+                  strprintf("Schedule cache: %d copies of a %lldx%lld mesh "
+                            "into an irregular mesh, %d processors [ms]",
+                            kReps, static_cast<long long>(kSide),
+                            static_cast<long long>(kSide), kProcs),
+                  {"total"},
+                  {
+                      bench::Row{"rebuild every copy", {tRebuild}, {}},
+                      bench::Row{"schedule cache", {tCached}, {}},
+                      bench::Row{"executor only", {tExecOnly}, {}},
+                  })
+                  .c_str());
+  std::printf("cache counters (rank 0): %llu hits / %llu misses; "
+              "amortization factor %.1fx\n\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses),
+              tCached > 0 ? tRebuild / tCached : 0.0);
+
+  // --- Part 2: run-compressed vs per-element pack/unpack (wall clock) -----
+  const Index n = 1 << 20;
+  std::vector<double> src(static_cast<size_t>(n));
+  std::iota(src.begin(), src.end(), 0.0);
+
+  struct Pattern {
+    const char* name;
+    std::vector<Index> offsets;
+  };
+  std::vector<Pattern> patterns;
+  {
+    Pattern contiguous{"contiguous", {}};
+    contiguous.offsets.resize(static_cast<size_t>(n));
+    std::iota(contiguous.offsets.begin(), contiguous.offsets.end(), Index{0});
+    patterns.push_back(std::move(contiguous));
+
+    Pattern rows{"rows of 1024", {}};  // 512 contiguous rows, every other row
+    for (Index r = 0; r < n / 1024; r += 2) {
+      for (Index k = 0; k < 1024; ++k) rows.offsets.push_back(r * 1024 + k);
+    }
+    patterns.push_back(std::move(rows));
+
+    Pattern strided{"stride 2", {}};
+    for (Index k = 0; k < n; k += 2) strided.offsets.push_back(k);
+    patterns.push_back(std::move(strided));
+  }
+
+  std::printf("== Run-compressed vs per-element pack (1M-double buffer, "
+              "wall clock) ==\n");
+  std::printf("%-14s %10s %12s %12s %8s\n", "pattern", "elements",
+              "element [ms]", "runwise [ms]", "speedup");
+  for (const Pattern& pat : patterns) {
+    const auto runs =
+        sched::compressOffsets(std::span<const Index>(pat.offsets));
+    std::vector<double> buf(pat.offsets.size());
+    const int wReps = 20;
+
+    double tElem = wallNow();
+    for (int r = 0; r < wReps; ++r) {
+      size_t i = 0;
+      for (Index off : pat.offsets) buf[i++] = src[static_cast<size_t>(off)];
+    }
+    tElem = wallNow() - tElem;
+
+    double tRuns = wallNow();
+    for (int r = 0; r < wReps; ++r) {
+      sched::packRuns(std::span<const double>(src),
+                      std::span<const sched::OffsetRun>(runs), buf.data());
+    }
+    tRuns = wallNow() - tRuns;
+
+    std::printf("%-14s %10zu %12.2f %12.2f %7.1fx\n", pat.name,
+                pat.offsets.size(), 1e3 * tElem / wReps, 1e3 * tRuns / wReps,
+                tRuns > 0 ? tElem / tRuns : 0.0);
+  }
+  std::printf("expected: contiguous and blocked patterns collapse to a few\n"
+              "memcpy calls; pure stride-2 keeps one run whose pointer walk\n"
+              "still beats chasing an explicit offset list.\n");
+  return 0;
+}

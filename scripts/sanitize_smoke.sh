@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the asan-ubsan preset and runs the schedule-cache / run-compression
+# test suite (plus the randomized copy fuzzer) under
+# AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: scripts/sanitize_smoke.sh [extra ctest -R regex]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+
+FILTER="${1:-test_run_compression|test_schedule_cache|test_schedule_invariants|test_fuzz_copy}"
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-asan -R "$FILTER" --output-on-failure -j 2

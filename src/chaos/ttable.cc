@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace mc::chaos {
 
 using layout::Index;
@@ -186,6 +188,23 @@ std::vector<ElementLoc> TranslationTable::gatherFull(
   for (const auto& row : rows) full.insert(full.end(), row.begin(), row.end());
   MC_CHECK(static_cast<Index>(full.size()) == globalSize_);
   return full;
+}
+
+std::uint64_t TranslationTable::localFingerprint() const {
+  HashStream h;
+  h.pod(static_cast<int>(storage_));
+  h.pod(globalSize_);
+  h.pod(homeBlock_);
+  h.podSpan(std::span<const Index>(localCounts_));
+  h.pod(myRank_);
+  h.pod(modeledQueryCost_);
+  // ElementLoc has tail padding; hash the fields, not the raw bytes.
+  h.pod(entries_.size());
+  for (const ElementLoc& e : entries_) {
+    h.pod(e.proc);
+    h.pod(e.offset);
+  }
+  return h.digest()[0];
 }
 
 }  // namespace mc::chaos

@@ -89,6 +89,13 @@ class TranslationTable {
   /// Modeled per-element dereference cost (see build()).
   double modeledQueryCost() const { return modeledQueryCost_; }
 
+  /// Communication-free digest of the locally held table state: the storage
+  /// policy, the global extent, and this processor's entry shard.  For a
+  /// distributed table no single processor can fingerprint the whole
+  /// mapping; callers that key caches on this value must combine the
+  /// per-processor digests collectively (the schedule cache does).
+  std::uint64_t localFingerprint() const;
+
  private:
   TranslationTable() = default;
 

@@ -101,6 +101,15 @@ class LibraryAdapter {
       const std::function<void(layout::Index lin, int owner,
                                layout::Index offset)>& fn) const;
 
+  /// A cheap, communication-free content digest of the locally held
+  /// descriptor state, used as the descriptor's contribution to schedule
+  /// cache keys.  Analytic descriptors hash their full parameters; a
+  /// library whose descriptor is itself distributed (Chaos with a
+  /// distributed translation table) hashes the calling rank's shard.  Two
+  /// descriptors with equal fingerprints on every rank must produce
+  /// identical schedules for identical region sets.
+  virtual std::uint64_t localFingerprint(const DistObject& obj) const = 0;
+
   /// Modeled per-element ownership-lookup cost for this descriptor (zero
   /// for closed-form distributions).  The duplication builder charges
   /// 2 x (set size / nprocs) x this cost per processor, reproducing the

@@ -125,6 +125,14 @@ double ChaosAdapter::modeledElementDereferenceCost(
   return obj.as<TranslationTable>().modeledQueryCost();
 }
 
+std::uint64_t ChaosAdapter::localFingerprint(const DistObject& obj) const {
+  // A distributed table cannot be fingerprinted whole without
+  // communication; hashing the local shard is exactly what the cache's
+  // collective hit agreement expects (any rank seeing a different shard
+  // forces a program-wide miss).
+  return obj.as<TranslationTable>().localFingerprint();
+}
+
 std::vector<std::byte> ChaosAdapter::serializeDesc(
     const DistObject& obj, transport::Comm& comm) const {
   const auto& table = obj.as<TranslationTable>();

@@ -39,6 +39,7 @@ class ChaosAdapter final : public LibraryAdapter {
                                                layout::Index)>& fn)
       const override;
   double modeledElementDereferenceCost(const DistObject& obj) const override;
+  std::uint64_t localFingerprint(const DistObject& obj) const override;
   std::vector<std::byte> serializeDesc(const DistObject& obj,
                                        transport::Comm& comm) const override;
   DistObject deserializeDesc(std::span<const std::byte> bytes) const override;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/adapters/section_range.h"
+#include "util/hash.h"
 
 namespace mc::core {
 
@@ -51,6 +52,20 @@ void HpfAdapter::enumerateRange(
                                const int owner = dist.ownerOf(p);
                                fn(lin, owner, dist.localOffset(owner, p));
                              });
+}
+
+std::uint64_t HpfAdapter::localFingerprint(const DistObject& obj) const {
+  const auto& dist = obj.as<hpfrt::HpfDist>();
+  const layout::Shape& shape = dist.globalShape();
+  HashStream h;
+  h.pod(shape.rank);
+  for (int d = 0; d < shape.rank; ++d) h.pod(shape[d]);
+  for (const hpfrt::DimDist& dd : dist.dims()) {
+    h.pod(static_cast<int>(dd.kind));
+    h.pod(dd.procs);
+    h.pod(dd.param);
+  }
+  return h.digest()[0];
 }
 
 std::vector<std::byte> HpfAdapter::serializeDesc(const DistObject& obj,

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/adapters/section_range.h"
+#include "util/hash.h"
 
 namespace mc::core {
 
@@ -64,6 +65,17 @@ void PartiAdapter::enumerateRange(
                                fn(lin, owner,
                                   addr[static_cast<size_t>(owner)].offsetOf(p));
                              });
+}
+
+std::uint64_t PartiAdapter::localFingerprint(const DistObject& obj) const {
+  const auto& desc = obj.as<parti::PartiDesc>();
+  const layout::Shape& shape = desc.decomp.globalShape();
+  HashStream h;
+  h.pod(shape.rank);
+  for (int d = 0; d < shape.rank; ++d) h.pod(shape[d]);
+  for (int g : desc.decomp.grid()) h.pod(g);
+  h.pod(desc.ghost);
+  return h.digest()[0];
 }
 
 std::vector<std::byte> PartiAdapter::serializeDesc(const DistObject& obj,

@@ -28,6 +28,7 @@ class PartiAdapter final : public LibraryAdapter {
                       const std::function<void(layout::Index, int,
                                                layout::Index)>& fn)
       const override;
+  std::uint64_t localFingerprint(const DistObject& obj) const override;
   std::vector<std::byte> serializeDesc(const DistObject& obj,
                                        transport::Comm& comm) const override;
   DistObject deserializeDesc(std::span<const std::byte> bytes) const override;

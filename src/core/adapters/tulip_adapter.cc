@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/hash.h"
+
 namespace mc::core {
 
 using layout::Index;
@@ -54,6 +56,15 @@ void TulipAdapter::enumerateRange(
     base += n;
     if (base >= linHi) break;
   }
+}
+
+std::uint64_t TulipAdapter::localFingerprint(const DistObject& obj) const {
+  const auto& desc = obj.as<tulip::TulipDesc>();
+  HashStream h;
+  h.pod(desc.size);
+  h.pod(desc.nprocs);
+  h.pod(static_cast<int>(desc.placement));
+  return h.digest()[0];
 }
 
 std::vector<std::byte> TulipAdapter::serializeDesc(const DistObject& obj,

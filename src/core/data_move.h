@@ -42,6 +42,12 @@ void dataMoveSend(transport::Comm& comm, const McSchedule& sched,
   for (const sched::OffsetPlan& plan : sched.plan.sends) {
     std::vector<T> buf;
     comm.compute([&] {
+      if (!plan.runs.empty()) {
+        buf.resize(plan.offsets.size());
+        sched::packRuns(src, std::span<const sched::OffsetRun>(plan.runs),
+                        buf.data());
+        return;
+      }
       buf.reserve(plan.offsets.size());
       for (layout::Index off : plan.offsets) {
         buf.push_back(src[static_cast<size_t>(off)]);
@@ -68,6 +74,11 @@ void dataMoveRecv(transport::Comm& comm, const McSchedule& sched,
                "expected %zu",
                plan.peer, buf.size(), plan.offsets.size());
     comm.compute([&] {
+      if (!plan.runs.empty()) {
+        sched::unpackRuns(std::span<const sched::OffsetRun>(plan.runs),
+                          buf.data(), dst);
+        return;
+      }
       size_t i = 0;
       for (layout::Index off : plan.offsets) {
         dst[static_cast<size_t>(off)] = buf[i++];

@@ -15,7 +15,9 @@ struct ApiState {
   std::map<RegionId, core::Region> regions;
   std::map<SetId, core::SetOfRegions> sets;
   std::map<ObjectId, core::DistObject> objects;
-  std::map<SchedId, core::McSchedule> schedules;
+  // Handles share cached schedules: two MC_ComputeSched calls with an
+  // identical key return different handles to one underlying schedule.
+  std::map<SchedId, std::shared_ptr<const core::McSchedule>> schedules;
 };
 
 ApiState& state() {
@@ -106,7 +108,7 @@ ObjectId MC_RegisterObject(core::DistObject obj) {
 SchedId MC_ComputeSched(transport::Comm& comm, ObjectId srcObj, SetId srcSet,
                         ObjectId dstObj, SetId dstSet, core::Method method) {
   ApiState& st = state();
-  core::McSchedule sched = core::computeSchedule(
+  auto sched = core::defaultScheduleCache().getOrBuild(
       comm, lookup(st.objects, srcObj, "object"),
       lookup(st.sets, srcSet, "set"), lookup(st.objects, dstObj, "object"),
       lookup(st.sets, dstSet, "set"), method);
@@ -119,7 +121,7 @@ SchedId MC_ComputeSchedSend(transport::Comm& comm, ObjectId srcObj,
                             SetId srcSet, int remoteProgram,
                             core::Method method) {
   ApiState& st = state();
-  core::McSchedule sched = core::computeScheduleSend(
+  auto sched = core::defaultScheduleCache().getOrBuildSend(
       comm, lookup(st.objects, srcObj, "object"),
       lookup(st.sets, srcSet, "set"), remoteProgram, method);
   const SchedId id = st.next++;
@@ -131,7 +133,7 @@ SchedId MC_ComputeSchedRecv(transport::Comm& comm, ObjectId dstObj,
                             SetId dstSet, int remoteProgram,
                             core::Method method) {
   ApiState& st = state();
-  core::McSchedule sched = core::computeScheduleRecv(
+  auto sched = core::defaultScheduleCache().getOrBuildRecv(
       comm, lookup(st.objects, dstObj, "object"),
       lookup(st.sets, dstSet, "set"), remoteProgram, method);
   const SchedId id = st.next++;
@@ -142,14 +144,31 @@ SchedId MC_ComputeSchedRecv(transport::Comm& comm, ObjectId dstObj,
 SchedId MC_ReverseSched(SchedId sched) {
   ApiState& st = state();
   core::McSchedule rev =
-      core::reverseSchedule(lookup(st.schedules, sched, "schedule"));
+      core::reverseSchedule(*lookup(st.schedules, sched, "schedule"));
   const SchedId id = st.next++;
-  st.schedules.emplace(id, std::move(rev));
+  st.schedules.emplace(id,
+                       std::make_shared<const core::McSchedule>(std::move(rev)));
   return id;
 }
 
 const core::McSchedule& MC_GetSched(SchedId sched) {
-  return lookup(state().schedules, sched, "schedule");
+  return *lookup(state().schedules, sched, "schedule");
+}
+
+const core::CacheStats& MC_SchedCacheStats() {
+  return core::defaultScheduleCache().stats();
+}
+
+void MC_SchedCacheResetStats() { core::defaultScheduleCache().resetStats(); }
+
+void MC_SchedCacheClear() {
+  core::ScheduleCache& c = core::defaultScheduleCache();
+  c.clear();
+  c.resetStats();
+}
+
+void MC_SetSchedCacheCapacity(std::size_t capacity) {
+  core::defaultScheduleCache().setCapacity(capacity);
 }
 
 void MC_FreeRegion(RegionId region) {

@@ -21,6 +21,7 @@
 #include "core/adapters/parti_adapter.h"
 #include "core/adapters/tulip_adapter.h"
 #include "core/data_move.h"
+#include "core/schedule_cache.h"
 
 namespace mc::api {
 
@@ -75,6 +76,9 @@ ObjectId MC_RegisterPCXX(const tulip::Collection<T>& c) {
 // --- schedules ----------------------------------------------------------------
 
 /// Intra-program schedule (both objects in the calling program); collective.
+/// Served from the rank's schedule cache when an identical schedule was
+/// built before (MC_SchedCacheStats observes hits/misses); the handle is
+/// fresh either way.
 SchedId MC_ComputeSched(transport::Comm& comm, ObjectId srcObj, SetId srcSet,
                         ObjectId dstObj, SetId dstSet,
                         core::Method method = core::Method::kCooperation);
@@ -90,6 +94,18 @@ SchedId MC_ReverseSched(SchedId sched);
 
 /// Access to the underlying schedule (for inspection / tests).
 const core::McSchedule& MC_GetSched(SchedId sched);
+
+// --- schedule cache observability -----------------------------------------
+
+/// Counters of the calling rank's schedule cache (hits / misses /
+/// insertions / evictions), the analogue of transport::Comm::stats().
+const core::CacheStats& MC_SchedCacheStats();
+/// Zeroes the counters (entries stay cached).
+void MC_SchedCacheResetStats();
+/// Drops every cached schedule and zeroes the counters.
+void MC_SchedCacheClear();
+/// Bounds the rank's cache, evicting least-recently-used schedules.
+void MC_SetSchedCacheCapacity(std::size_t capacity);
 
 // --- data movement --------------------------------------------------------------
 

@@ -1,0 +1,156 @@
+#include "core/schedule_cache.h"
+
+#include "core/registry.h"
+
+namespace mc::core {
+
+namespace {
+
+const LibraryAdapter& adapterOf(const DistObject& obj) {
+  registerBuiltinAdapters();
+  return Registry::instance().get(obj.library());
+}
+
+void hashRegion(HashStream& h, const Region& r) {
+  h.pod(r.kind());
+  switch (r.kind()) {
+    case Region::Kind::kSection: {
+      const layout::RegularSection& s = r.asSection();
+      h.pod(s.rank);
+      for (int d = 0; d < s.rank; ++d) {
+        const auto dd = static_cast<size_t>(d);
+        h.pod(s.lo[dd]);
+        h.pod(s.hi[dd]);
+        h.pod(s.stride[dd]);
+      }
+      break;
+    }
+    case Region::Kind::kIndices:
+      h.podSpan(std::span<const layout::Index>(r.asIndices()));
+      break;
+    case Region::Kind::kRange: {
+      const ElementRange& e = r.asRange();
+      h.pod(e.lo);
+      h.pod(e.hi);
+      h.pod(e.stride);
+      break;
+    }
+  }
+}
+
+/// All processors of the program (and, when `remoteProgram` >= 0, of the
+/// remote program too) agree whether every participant has a cached copy.
+bool agreeOnHit(transport::Comm& comm, int remoteProgram, bool localHit) {
+  int hit = static_cast<int>(
+      comm.allreduceValue(localHit ? 1 : 0,
+                          [](int a, int b) { return a < b ? a : b; }));
+  if (remoteProgram >= 0) {
+    // Exchange the program-wide bit rank0 <-> rank0, then broadcast.
+    const int tag = comm.nextInterTag(remoteProgram);
+    if (comm.rank() == 0) {
+      comm.sendValueTo(remoteProgram, 0, tag, hit);
+      const int theirs = comm.recvValueFrom<int>(remoteProgram, 0, tag);
+      hit = hit < theirs ? hit : theirs;
+    }
+    hit = comm.bcastValue(hit, 0);
+  }
+  return hit != 0;
+}
+
+std::shared_ptr<const McSchedule> compressed(McSchedule sched) {
+  sched.plan.compress();
+  return std::make_shared<const McSchedule>(std::move(sched));
+}
+
+}  // namespace
+
+void hashScheduleSide(HashStream& h, const DistObject& obj,
+                      const SetOfRegions& set) {
+  const LibraryAdapter& lib = adapterOf(obj);
+  h.str(obj.library());
+  h.pod(lib.localFingerprint(obj));
+  h.pod(set.regions().size());
+  for (const Region& r : set.regions()) hashRegion(h, r);
+}
+
+std::shared_ptr<const McSchedule> ScheduleCache::getOrBuild(
+    transport::Comm& comm, const DistObject& srcObj,
+    const SetOfRegions& srcSet, const DistObject& dstObj,
+    const SetOfRegions& dstSet, Method method) {
+  HashStream h;
+  h.str("intra");
+  h.pod(method);
+  h.pod(comm.program());
+  h.pod(comm.size());
+  hashScheduleSide(h, srcObj, srcSet);
+  hashScheduleSide(h, dstObj, dstSet);
+  const auto key = h.digest();
+
+  std::shared_ptr<const McSchedule> local = cache_.peek(key);
+  if (agreeOnHit(comm, /*remoteProgram=*/-1, local != nullptr)) {
+    cache_.noteHit(key);
+    return local;
+  }
+  cache_.noteMiss();
+  auto built =
+      compressed(computeSchedule(comm, srcObj, srcSet, dstObj, dstSet, method));
+  cache_.insert(key, built);
+  return built;
+}
+
+std::shared_ptr<const McSchedule> ScheduleCache::getOrBuildSend(
+    transport::Comm& comm, const DistObject& srcObj,
+    const SetOfRegions& srcSet, int remoteProgram, Method method) {
+  HashStream h;
+  h.str("send");
+  h.pod(method);
+  h.pod(comm.program());
+  h.pod(comm.size());
+  h.pod(remoteProgram);
+  h.pod(comm.programInfo(remoteProgram).nprocs);
+  hashScheduleSide(h, srcObj, srcSet);
+  const auto key = h.digest();
+
+  std::shared_ptr<const McSchedule> local = cache_.peek(key);
+  if (agreeOnHit(comm, remoteProgram, local != nullptr)) {
+    cache_.noteHit(key);
+    return local;
+  }
+  cache_.noteMiss();
+  auto built = compressed(
+      computeScheduleSend(comm, srcObj, srcSet, remoteProgram, method));
+  cache_.insert(key, built);
+  return built;
+}
+
+std::shared_ptr<const McSchedule> ScheduleCache::getOrBuildRecv(
+    transport::Comm& comm, const DistObject& dstObj,
+    const SetOfRegions& dstSet, int remoteProgram, Method method) {
+  HashStream h;
+  h.str("recv");
+  h.pod(method);
+  h.pod(comm.program());
+  h.pod(comm.size());
+  h.pod(remoteProgram);
+  h.pod(comm.programInfo(remoteProgram).nprocs);
+  hashScheduleSide(h, dstObj, dstSet);
+  const auto key = h.digest();
+
+  std::shared_ptr<const McSchedule> local = cache_.peek(key);
+  if (agreeOnHit(comm, remoteProgram, local != nullptr)) {
+    cache_.noteHit(key);
+    return local;
+  }
+  cache_.noteMiss();
+  auto built = compressed(
+      computeScheduleRecv(comm, dstObj, dstSet, remoteProgram, method));
+  cache_.insert(key, built);
+  return built;
+}
+
+ScheduleCache& defaultScheduleCache() {
+  thread_local ScheduleCache cache;
+  return cache;
+}
+
+}  // namespace mc::core

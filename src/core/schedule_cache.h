@@ -1,0 +1,79 @@
+// The Meta-Chaos schedule cache.
+//
+// Wraps the computeSchedule* builders behind a content-addressed cache: the
+// key is a 128-bit digest of (source library + descriptor fingerprint,
+// source regions, destination library + descriptor fingerprint, destination
+// regions, build method, program topology).  A hit returns the previously
+// built schedule — already run-compressed — without touching the library
+// dereference machinery at all, which is what turns the paper's
+// build-once/execute-many amortization into the default behaviour of every
+// call site.
+//
+// Correctness of a *collective* build demands that all participating
+// processors agree on hit-vs-miss: if one rank rebuilt while another used
+// its cached copy, the build's collective communication would deadlock.
+// Descriptor fingerprints are local (each rank hashes the state it holds —
+// a distributed translation table hashes only its own shard), so agreement
+// is established explicitly: every lookup AND-reduces the local hit bit
+// over the program (and, for inter-program schedules, across both
+// programs).  The reduction is a few tiny messages — noise next to the
+// build it replaces — and a rank whose neighbours missed simply rebuilds
+// with them, counting a miss.
+//
+// The cache is per virtual processor (each rank caches its own schedule
+// halves); defaultScheduleCache() hands every rank its own instance, the
+// way the MC_* API keeps per-rank handle tables.
+#pragma once
+
+#include "core/schedule_builder.h"
+#include "sched/schedule_cache.h"
+
+namespace mc::core {
+
+using sched::CacheStats;
+
+class ScheduleCache {
+ public:
+  explicit ScheduleCache(std::size_t capacity = 64) : cache_(capacity) {}
+
+  /// Cached computeSchedule (intra-program).  Collective over the program.
+  std::shared_ptr<const McSchedule> getOrBuild(
+      transport::Comm& comm, const DistObject& srcObj,
+      const SetOfRegions& srcSet, const DistObject& dstObj,
+      const SetOfRegions& dstSet, Method method = Method::kCooperation);
+
+  /// Cached computeScheduleSend / computeScheduleRecv (inter-program
+  /// halves).  Collective over both programs; the two sides must pair their
+  /// calls, exactly like the uncached builders.
+  std::shared_ptr<const McSchedule> getOrBuildSend(
+      transport::Comm& comm, const DistObject& srcObj,
+      const SetOfRegions& srcSet, int remoteProgram,
+      Method method = Method::kCooperation);
+  std::shared_ptr<const McSchedule> getOrBuildRecv(
+      transport::Comm& comm, const DistObject& dstObj,
+      const SetOfRegions& dstSet, int remoteProgram,
+      Method method = Method::kCooperation);
+
+  const CacheStats& stats() const { return cache_.stats(); }
+  void resetStats() { cache_.resetStats(); }
+  std::size_t size() const { return cache_.size(); }
+  std::size_t capacity() const { return cache_.capacity(); }
+  void setCapacity(std::size_t capacity) { cache_.setCapacity(capacity); }
+  void clear() { cache_.clear(); }
+
+ private:
+  sched::KeyedCache<McSchedule> cache_;
+};
+
+/// The calling virtual processor's schedule cache (one per rank/thread,
+/// like the MC_* handle tables).  Lives for the lifetime of the rank's
+/// thread — i.e. one World::run.
+ScheduleCache& defaultScheduleCache();
+
+/// Digest of one side of a schedule key: library name, the adapter's local
+/// descriptor fingerprint, and the region set contents.  Exposed for the
+/// library-level caches and tests.
+void hashScheduleSide(HashStream& h, const DistObject& obj,
+                      const SetOfRegions& set);
+
+}  // namespace mc::core

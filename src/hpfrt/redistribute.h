@@ -10,6 +10,7 @@
 
 #include "hpfrt/hpf_array.h"
 #include "sched/schedule.h"
+#include "sched/schedule_cache.h"
 
 namespace mc::hpfrt {
 
@@ -22,6 +23,18 @@ sched::Schedule buildRedistSchedule(const HpfDist& srcDist,
                                     const layout::RegularSection& dstSec,
                                     int myProc);
 
+/// Cached buildRedistSchedule: keyed on both distributions and sections,
+/// per virtual processor.  The build is communication-free, so every rank
+/// hits or misses in lockstep and no agreement round is needed.  Cached
+/// schedules come back run-compressed.
+std::shared_ptr<const sched::Schedule> cachedRedistSchedule(
+    const HpfDist& srcDist, const layout::RegularSection& srcSec,
+    const HpfDist& dstDist, const layout::RegularSection& dstSec, int myProc);
+
+/// The calling rank's cache behind cachedRedistSchedule (exposed so tests
+/// and benches can read its hit/miss/eviction counters).
+sched::KeyedCache<sched::Schedule>& hpfScheduleCache();
+
 /// Executes the redistribution (collective).
 template <typename T>
 void redistribute(const sched::Schedule& sched, const HpfArray<T>& src,
@@ -33,14 +46,14 @@ void redistribute(const sched::Schedule& sched, const HpfArray<T>& src,
 
 /// HPF array-section assignment, dst[dstSec] = src[srcSec], in one call —
 /// the runtime operation behind `A(1:50, 10:60) = B(50:99, 50:100)`.
-/// Builds the schedule and executes it; for transfers that repeat, build
-/// once with buildRedistSchedule and call redistribute per step instead.
+/// The schedule comes from the rank's cache, so repeating the same
+/// assignment (e.g. once per time step) pays the build exactly once.
 template <typename T>
 void sectionAssign(const HpfArray<T>& src, const layout::RegularSection& srcSec,
                    HpfArray<T>& dst, const layout::RegularSection& dstSec) {
-  const sched::Schedule sched = buildRedistSchedule(
-      src.dist(), srcSec, dst.dist(), dstSec, src.comm().rank());
-  redistribute(sched, src, dst);
+  const auto sched = cachedRedistSchedule(src.dist(), srcSec, dst.dist(),
+                                          dstSec, src.comm().rank());
+  redistribute(*sched, src, dst);
 }
 
 }  // namespace mc::hpfrt

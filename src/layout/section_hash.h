@@ -1,0 +1,24 @@
+// Hashing of layout types for schedule-cache keys.
+#pragma once
+
+#include "layout/section.h"
+#include "util/hash.h"
+
+namespace mc::layout {
+
+inline void hashSection(HashStream& h, const RegularSection& s) {
+  h.pod(s.rank);
+  for (int d = 0; d < s.rank; ++d) {
+    const auto dd = static_cast<size_t>(d);
+    h.pod(s.lo[dd]);
+    h.pod(s.hi[dd]);
+    h.pod(s.stride[dd]);
+  }
+}
+
+inline void hashShape(HashStream& h, const Shape& s) {
+  h.pod(s.rank);
+  for (int d = 0; d < s.rank; ++d) h.pod(s[d]);
+}
+
+}  // namespace mc::layout

@@ -1,0 +1,52 @@
+#include "parti/sched_cache.h"
+
+#include "layout/section_hash.h"
+#include "parti/ghost.h"
+#include "parti/section_copy.h"
+
+namespace mc::parti {
+
+sched::KeyedCache<Schedule>& partiScheduleCache() {
+  thread_local sched::KeyedCache<Schedule> cache;
+  return cache;
+}
+
+void hashPartiDesc(HashStream& h, const PartiDesc& desc) {
+  layout::hashShape(h, desc.decomp.globalShape());
+  for (int g : desc.decomp.grid()) h.pod(g);
+  h.pod(desc.ghost);
+}
+
+std::shared_ptr<const Schedule> cachedGhostSchedule(const PartiDesc& desc,
+                                                    int myProc) {
+  HashStream h;
+  h.str("parti-ghost");
+  hashPartiDesc(h, desc);
+  h.pod(myProc);
+  return partiScheduleCache().getOrBuild(h.digest(), [&] {
+    auto built = std::make_shared<Schedule>(buildGhostSchedule(desc, myProc));
+    built->compress();
+    return built;
+  });
+}
+
+std::shared_ptr<const Schedule> cachedSectionCopySchedule(
+    const PartiDesc& srcDesc, const layout::RegularSection& srcSec,
+    const PartiDesc& dstDesc, const layout::RegularSection& dstSec,
+    int myProc) {
+  HashStream h;
+  h.str("parti-section-copy");
+  hashPartiDesc(h, srcDesc);
+  layout::hashSection(h, srcSec);
+  hashPartiDesc(h, dstDesc);
+  layout::hashSection(h, dstSec);
+  h.pod(myProc);
+  return partiScheduleCache().getOrBuild(h.digest(), [&] {
+    auto built = std::make_shared<Schedule>(
+        buildSectionCopySchedule(srcDesc, srcSec, dstDesc, dstSec, myProc));
+    built->compress();
+    return built;
+  });
+}
+
+}  // namespace mc::parti

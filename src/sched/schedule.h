@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "layout/index.h"
+#include "sched/run_plan.h"
 #include "transport/comm.h"
 
 namespace mc::sched {
@@ -26,12 +27,20 @@ namespace mc::sched {
 struct OffsetPlan {
   int peer = 0;
   std::vector<layout::Index> offsets;  // element offsets in the local buffer
+  /// Run-compressed form of `offsets` (see run_plan.h); empty until the
+  /// schedule is compress()ed.  When present, pack/unpack execute run-wise
+  /// (memcpy for contiguous runs) instead of element-wise.
+  std::vector<OffsetRun> runs;
+
+  bool compressed() const { return !runs.empty() || offsets.empty(); }
 };
 
 struct Schedule {
   std::vector<OffsetPlan> sends;  // sorted by peer
   std::vector<OffsetPlan> recvs;  // sorted by peer
   std::vector<std::pair<layout::Index, layout::Index>> localPairs;
+  /// Run-compressed form of `localPairs`; empty until compress()ed.
+  std::vector<LocalRun> localRuns;
   /// Authentic Multiblock Parti stages local transfers through an
   /// intermediate buffer (the paper contrasts this with Meta-Chaos's direct
   /// local copy in Section 5.3).  Meta-Chaos schedules set this to false.
@@ -54,6 +63,30 @@ struct Schedule {
     std::sort(sends.begin(), sends.end(), byPeer);
     std::sort(recvs.begin(), recvs.end(), byPeer);
   }
+
+  /// Populates the run-compressed form of every plan.  The offset lists are
+  /// kept: they remain the schedule's ground truth (reverse/merge operate on
+  /// them), the runs are the executor's fast path.  Idempotent.
+  void compress() {
+    for (OffsetPlan& p : sends) {
+      p.runs = compressOffsets(std::span<const layout::Index>(p.offsets));
+    }
+    for (OffsetPlan& p : recvs) {
+      p.runs = compressOffsets(std::span<const layout::Index>(p.offsets));
+    }
+    localRuns = compressPairs(
+        std::span<const std::pair<layout::Index, layout::Index>>(localPairs));
+  }
+
+  bool compressed() const {
+    for (const OffsetPlan& p : sends) {
+      if (!p.compressed()) return false;
+    }
+    for (const OffsetPlan& p : recvs) {
+      if (!p.compressed()) return false;
+    }
+    return localRuns.size() > 0 || localPairs.empty();
+  }
 };
 
 /// Executes `sched` within one program: packs `src` elements, sends at most
@@ -66,9 +99,16 @@ void execute(transport::Comm& comm, const Schedule& sched,
   static_assert(std::is_trivially_copyable_v<T>);
   // Pack/copy/unpack loops run under compute() so their CPU time is charged
   // to the virtual clock; the messages charge their own transfer costs.
+  // Compressed plans (see Schedule::compress) execute run-wise — one memcpy
+  // per contiguous run instead of one assignment per element.
   for (const OffsetPlan& plan : sched.sends) {
     std::vector<T> buf;
     comm.compute([&] {
+      if (!plan.runs.empty()) {
+        buf.resize(plan.offsets.size());
+        packRuns(src, std::span<const OffsetRun>(plan.runs), buf.data());
+        return;
+      }
       buf.reserve(plan.offsets.size());
       for (layout::Index off : plan.offsets) {
         buf.push_back(src[static_cast<size_t>(off)]);
@@ -77,7 +117,12 @@ void execute(transport::Comm& comm, const Schedule& sched,
     comm.send(plan.peer, tag, buf);
   }
   comm.compute([&] {
-    if (sched.bufferLocalCopies) {
+    if (!sched.localRuns.empty()) {
+      // The run executor has read-all-then-write semantics per run
+      // (memmove), so it serves both local-copy policies; schedules built by
+      // this repo never overlap local sources with local destinations.
+      copyLocalRuns(std::span<const LocalRun>(sched.localRuns), src, dst);
+    } else if (sched.bufferLocalCopies) {
       std::vector<T> buf;
       buf.reserve(sched.localPairs.size());
       for (const auto& [from, to] : sched.localPairs) {
@@ -99,6 +144,10 @@ void execute(transport::Comm& comm, const Schedule& sched,
                "schedule mismatch: peer %d sent %zu elements, expected %zu",
                plan.peer, buf.size(), plan.offsets.size());
     comm.compute([&] {
+      if (!plan.runs.empty()) {
+        unpackRuns(std::span<const OffsetRun>(plan.runs), buf.data(), dst);
+        return;
+      }
       size_t i = 0;
       for (layout::Index off : plan.offsets) {
         dst[static_cast<size_t>(off)] = buf[i++];
@@ -117,6 +166,11 @@ void executeAdd(transport::Comm& comm, const Schedule& sched,
   for (const OffsetPlan& plan : sched.sends) {
     std::vector<T> buf;
     comm.compute([&] {
+      if (!plan.runs.empty()) {
+        buf.resize(plan.offsets.size());
+        packRuns(src, std::span<const OffsetRun>(plan.runs), buf.data());
+        return;
+      }
       buf.reserve(plan.offsets.size());
       for (layout::Index off : plan.offsets) {
         buf.push_back(src[static_cast<size_t>(off)]);
@@ -125,8 +179,12 @@ void executeAdd(transport::Comm& comm, const Schedule& sched,
     comm.send(plan.peer, tag, buf);
   }
   comm.compute([&] {
-    for (const auto& [from, to] : sched.localPairs) {
-      dst[static_cast<size_t>(to)] += src[static_cast<size_t>(from)];
+    if (!sched.localRuns.empty()) {
+      addLocalRuns(std::span<const LocalRun>(sched.localRuns), src, dst);
+    } else {
+      for (const auto& [from, to] : sched.localPairs) {
+        dst[static_cast<size_t>(to)] += src[static_cast<size_t>(from)];
+      }
     }
   });
   for (const OffsetPlan& plan : sched.recvs) {
@@ -135,6 +193,10 @@ void executeAdd(transport::Comm& comm, const Schedule& sched,
                "schedule mismatch: peer %d sent %zu elements, expected %zu",
                plan.peer, buf.size(), plan.offsets.size());
     comm.compute([&] {
+      if (!plan.runs.empty()) {
+        unpackRunsAdd(std::span<const OffsetRun>(plan.runs), buf.data(), dst);
+        return;
+      }
       size_t i = 0;
       for (layout::Index off : plan.offsets) {
         dst[static_cast<size_t>(off)] += buf[i++];
@@ -154,6 +216,7 @@ inline Schedule merge(std::span<const Schedule> parts) {
   Schedule out;
   if (parts.empty()) return out;
   out.bufferLocalCopies = parts.front().bufferLocalCopies;
+  bool allCompressed = true;
   auto append = [](std::vector<OffsetPlan>& into,
                    const std::vector<OffsetPlan>& from) {
     for (const OffsetPlan& plan : from) {
@@ -162,6 +225,7 @@ inline Schedule merge(std::span<const Schedule> parts) {
       });
       if (it == into.end()) {
         into.push_back(plan);
+        into.back().runs.clear();  // concatenation invalidates runs
       } else {
         it->offsets.insert(it->offsets.end(), plan.offsets.begin(),
                            plan.offsets.end());
@@ -171,12 +235,14 @@ inline Schedule merge(std::span<const Schedule> parts) {
   for (const Schedule& part : parts) {
     MC_REQUIRE(part.bufferLocalCopies == out.bufferLocalCopies,
                "cannot merge schedules with different local-copy policies");
+    allCompressed = allCompressed && part.compressed();
     append(out.sends, part.sends);
     append(out.recvs, part.recvs);
     out.localPairs.insert(out.localPairs.end(), part.localPairs.begin(),
                           part.localPairs.end());
   }
   out.sortByPeer();
+  if (allCompressed) out.compress();
   return out;
 }
 
@@ -185,11 +251,16 @@ inline Schedule merge(std::span<const Schedule> parts) {
 /// data either direction (Section 4.3); this implements that reversal.
 inline Schedule reverse(const Schedule& sched) {
   Schedule out;
-  out.sends = sched.recvs;
+  out.sends = sched.recvs;  // per-plan runs stay valid: offsets are unchanged
   out.recvs = sched.sends;
   out.localPairs.reserve(sched.localPairs.size());
   for (const auto& [from, to] : sched.localPairs) {
     out.localPairs.emplace_back(to, from);
+  }
+  out.localRuns.reserve(sched.localRuns.size());
+  for (const LocalRun& run : sched.localRuns) {
+    out.localRuns.push_back(
+        LocalRun{run.dst, run.src, run.count, run.dstStride, run.srcStride});
   }
   out.bufferLocalCopies = sched.bufferLocalCopies;
   return out;

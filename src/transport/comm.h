@@ -233,10 +233,10 @@ class Comm {
   void bcast(std::vector<T>& data, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<std::byte> buf(data.size() * sizeof(T));
-    std::memcpy(buf.data(), data.data(), buf.size());
+    if (!buf.empty()) std::memcpy(buf.data(), data.data(), buf.size());
     bcastBytes(buf, root);
     data.resize(buf.size() / sizeof(T));
-    std::memcpy(data.data(), buf.data(), buf.size());
+    if (!buf.empty()) std::memcpy(data.data(), buf.data(), buf.size());
   }
   template <typename T>
   T bcastValue(T v, int root) {
@@ -270,7 +270,9 @@ class Comm {
     std::vector<std::vector<std::byte>> raw(sendTo.size());
     for (size_t r = 0; r < sendTo.size(); ++r) {
       raw[r].resize(sendTo[r].size() * sizeof(T));
-      std::memcpy(raw[r].data(), sendTo[r].data(), raw[r].size());
+      if (!raw[r].empty()) {
+        std::memcpy(raw[r].data(), sendTo[r].data(), raw[r].size());
+      }
     }
     return typedBuffers<T>(alltoallBytes(raw));
   }
@@ -296,7 +298,9 @@ class Comm {
                "message size %zu not a multiple of element size %zu",
                m.payload.size(), sizeof(T));
     std::vector<T> out(m.payload.size() / sizeof(T));
-    std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    if (!out.empty()) {
+      std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    }
     return out;
   }
   template <typename T>
@@ -306,7 +310,9 @@ class Comm {
     for (size_t i = 0; i < raw.size(); ++i) {
       MC_REQUIRE(raw[i].size() % sizeof(T) == 0);
       out[i].resize(raw[i].size() / sizeof(T));
-      std::memcpy(out[i].data(), raw[i].data(), raw[i].size());
+      if (!raw[i].empty()) {
+        std::memcpy(out[i].data(), raw[i].data(), raw[i].size());
+      }
     }
     return out;
   }

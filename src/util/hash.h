@@ -1,0 +1,76 @@
+// Content hashing for cache keys.
+//
+// HashStream accumulates a 128-bit digest (two independent FNV-1a lanes) of
+// everything fed into it.  The schedule caches key on digests of
+// (distribution descriptor, regions, method), so a key collision would
+// silently alias two different communication schedules; 128 bits keeps that
+// probability negligible at any realistic cache population.  The hash is
+// deterministic across runs and hosts — part of the reproduction contract,
+// like Rng.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <type_traits>
+
+namespace mc {
+
+class HashStream {
+ public:
+  using Digest = std::array<std::uint64_t, 2>;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_ = (a_ ^ p[i]) * kPrime;
+      b_ = (b_ ^ p[i]) * kPrime;
+      // Decorrelate the lanes: lane b also mixes the running position.
+      b_ ^= b_ >> 29;
+    }
+    len_ += n;
+  }
+
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(T));
+  }
+
+  template <typename T>
+  void podSpan(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pod(v.size());
+    bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  void str(std::string_view s) {
+    pod(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  Digest digest() const {
+    // Fold the total length in so "" + "ab" != "a" + "b".
+    Digest d{a_ ^ len_, b_ + 0x9e3779b97f4a7c15ULL * (len_ + 1)};
+    d[0] = mix(d[0]);
+    d[1] = mix(d[1] ^ d[0]);
+    return d;
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t a_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t b_ = 0x84222325cbf29ce4ULL;  // rotated basis for lane 2
+  std::uint64_t len_ = 0;
+};
+
+}  // namespace mc

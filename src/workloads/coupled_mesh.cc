@@ -2,6 +2,8 @@
 
 #include "core/adapters/chaos_adapter.h"
 #include "core/adapters/parti_adapter.h"
+#include "core/schedule_cache.h"
+#include "parti/sched_cache.h"
 
 namespace mc::workloads {
 
@@ -52,7 +54,9 @@ CoupledMesh::CoupledMesh(transport::Comm& comm,
 }
 
 void CoupledMesh::buildRegularInspector() {
-  comm_->compute([&] { ghostSched_ = parti::buildGhostSchedule(*a_); });
+  comm_->compute([&] {
+    ghostSched_ = parti::cachedGhostSchedule(a_->desc(), comm_->rank());
+  });
 }
 
 void CoupledMesh::buildIrregularInspector() {
@@ -80,10 +84,11 @@ void CoupledMesh::buildMetaChaosCopySchedules(core::Method method) {
             table_->modeledQueryCost()));
     chaosObj = core::DistObject("chaos", std::move(replicated));
   }
-  mcRegToIrreg_ = core::computeSchedule(
+  mcRegToIrreg_ = core::defaultScheduleCache().getOrBuild(
       *comm_, core::PartiAdapter::describe(*a_), regSet, chaosObj, irregSet,
       method);
-  mcIrregToReg_ = core::reverseSchedule(*mcRegToIrreg_);
+  mcIrregToReg_ = std::make_shared<const core::McSchedule>(
+      core::reverseSchedule(*mcRegToIrreg_));
 }
 
 void CoupledMesh::buildChaosCopySchedules() {
@@ -121,7 +126,7 @@ void CoupledMesh::buildChaosCopySchedules() {
         mapping_.irreg[static_cast<size_t>(regMine[i])]);
   }
   chRegToIrreg_ =
-      chaos::buildIrregCopySchedule(*comm_, *table_, srcOffsets, dstGlobals);
+      chaos::cachedIrregCopySchedule(*comm_, *table_, srcOffsets, dstGlobals);
   // irreg -> reg: my mapping entries are the irregular points I own; the
   // destination is the regular mesh via its new translation table.
   std::vector<Index> irrOffsets;
@@ -145,11 +150,12 @@ void CoupledMesh::buildChaosCopySchedules() {
   // The copy back reuses the reversed schedule — one dereference pass in
   // total, which is why the paper finds the Chaos build and the Meta-Chaos
   // cooperation build "very similar" in cost.
-  chIrregToReg_ = sched::reverse(*chRegToIrreg_);
+  chIrregToReg_ =
+      std::make_shared<const sched::Schedule>(sched::reverse(*chRegToIrreg_));
 }
 
 void CoupledMesh::regularSweep() {
-  MC_REQUIRE(ghostSched_.has_value(), "buildRegularInspector first");
+  MC_REQUIRE(ghostSched_ != nullptr, "buildRegularInspector first");
   parti::stencilSweep(*a_, *ghostSched_, scratch_);
 }
 
@@ -159,12 +165,12 @@ void CoupledMesh::irregularSweep() {
 }
 
 void CoupledMesh::copyRegToIrregMC() {
-  MC_REQUIRE(mcRegToIrreg_.has_value(), "buildMetaChaosCopySchedules first");
+  MC_REQUIRE(mcRegToIrreg_ != nullptr, "buildMetaChaosCopySchedules first");
   core::dataMove<double>(*comm_, *mcRegToIrreg_, a_->raw(), x_->raw());
 }
 
 void CoupledMesh::copyIrregToRegMC() {
-  MC_REQUIRE(mcIrregToReg_.has_value(), "buildMetaChaosCopySchedules first");
+  MC_REQUIRE(mcIrregToReg_ != nullptr, "buildMetaChaosCopySchedules first");
   core::dataMove<double>(*comm_, *mcIrregToReg_, x_->raw(), a_->raw());
 }
 
@@ -188,7 +194,7 @@ void CoupledMesh::syncMeshFromShadow() {
 }
 
 void CoupledMesh::copyRegToIrregChaos() {
-  MC_REQUIRE(chRegToIrreg_.has_value(), "buildChaosCopySchedules first");
+  MC_REQUIRE(chRegToIrreg_ != nullptr, "buildChaosCopySchedules first");
   // The extra copy + extra indirection the paper attributes to the Chaos
   // data-copy path: mesh -> shadow, then the Chaos executor.
   syncShadowFromMesh();
@@ -197,7 +203,7 @@ void CoupledMesh::copyRegToIrregChaos() {
 }
 
 void CoupledMesh::copyIrregToRegChaos() {
-  MC_REQUIRE(chIrregToReg_.has_value(), "buildChaosCopySchedules first");
+  MC_REQUIRE(chIrregToReg_ != nullptr, "buildChaosCopySchedules first");
   chaos::executeChaosCopy<double>(*comm_, *chIrregToReg_, x_->raw(),
                                   regShadow_, comm_->nextUserTag());
   syncMeshFromShadow();

@@ -94,19 +94,21 @@ class CoupledMesh {
   std::vector<layout::Index> myIa_, myIb_;  // my slice of the edge arrays
   meshgen::InterfaceMapping mapping_;       // full remap (replicated)
 
-  // Inspector products.
-  std::optional<parti::Schedule> ghostSched_;
+  // Inspector products.  Schedules are shared_ptrs into the per-rank
+  // schedule caches: rebuilding an inspector with unchanged inputs is a
+  // cache hit that hands back the same (run-compressed) schedule.
+  std::shared_ptr<const parti::Schedule> ghostSched_;
   std::optional<chaos::EdgeSweep<double>> edgeSweep_;
-  std::optional<core::McSchedule> mcRegToIrreg_;
-  std::optional<core::McSchedule> mcIrregToReg_;
+  std::shared_ptr<const core::McSchedule> mcRegToIrreg_;
+  std::shared_ptr<const core::McSchedule> mcIrregToReg_;
   // Chaos-native baseline state: shadow unpadded copy of the regular mesh
   // plus its pointwise translation table (the extra memory the paper says
   // Meta-Chaos avoids).
   std::shared_ptr<const chaos::TranslationTable> regTable_;
   std::vector<double> regShadow_;
   std::vector<layout::Index> shadowPaddedOffsets_;  // shadow[i] <-> padded[off]
-  std::optional<sched::Schedule> chRegToIrreg_;
-  std::optional<sched::Schedule> chIrregToReg_;
+  std::shared_ptr<const sched::Schedule> chRegToIrreg_;
+  std::shared_ptr<const sched::Schedule> chIrregToReg_;
   std::vector<double> scratch_;
 
   void syncShadowFromMesh();

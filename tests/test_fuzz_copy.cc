@@ -13,6 +13,7 @@
 #include "core/adapters/parti_adapter.h"
 #include "core/adapters/tulip_adapter.h"
 #include "core/data_move.h"
+#include "core/schedule_cache.h"
 #include "transport/world.h"
 #include "util/rng.h"
 
@@ -35,6 +36,7 @@ struct Instance {
   std::function<std::span<double>()> raw;
   std::function<std::vector<double>()> gather;
   std::shared_ptr<void> holder;
+  std::function<void()> refill;  // restore the initial valueOf() contents
 };
 
 /// A random source-side instance: random distribution, random (possibly
@@ -164,6 +166,9 @@ Instance makeConformantDest(int lib, Comm& c, Rng& rng, Index n) {
       Instance inst{PartiAdapter::describe(*arr), SetOfRegions{}, {},
                     [arr] { return arr->raw(); },
                     [arr] { return arr->gatherGlobal(); }, arr};
+      inst.refill = [arr] {
+        arr->fillByPoint([](const Point& p) { return valueOf(p[0]); });
+      };
       inst.set.add(Region::section(
           RegularSection::of({lo}, {lo + (n - 1) * stride}, {stride})));
       for (Index k = 0; k < n; ++k) inst.setGlobalIds.push_back(lo + k * stride);
@@ -180,6 +185,9 @@ Instance makeConformantDest(int lib, Comm& c, Rng& rng, Index n) {
       Instance inst{HpfAdapter::describe(*arr), SetOfRegions{}, {},
                     [arr] { return arr->raw(); },
                     [arr] { return arr->gatherGlobal(); }, arr};
+      inst.refill = [arr] {
+        arr->fillByPoint([](const Point& p) { return valueOf(p[0]); });
+      };
       inst.set.add(Region::section(
           RegularSection::of({lo}, {lo + (n - 1) * stride}, {stride})));
       for (Index k = 0; k < n; ++k) inst.setGlobalIds.push_back(lo + k * stride);
@@ -196,6 +204,7 @@ Instance makeConformantDest(int lib, Comm& c, Rng& rng, Index n) {
       Instance inst{ChaosAdapter::describe(*arr), SetOfRegions{}, {},
                     [arr] { return arr->raw(); },
                     [arr] { return arr->gatherGlobal(); }, arr};
+      inst.refill = [arr] { arr->fillByGlobal(valueOf); };
       auto ids = rng.permutation(static_cast<std::uint64_t>(size));
       std::vector<Index> pick;
       for (Index k = 0; k < n; ++k) pick.push_back(static_cast<Index>(ids[static_cast<size_t>(k)]));
@@ -210,6 +219,9 @@ Instance makeConformantDest(int lib, Comm& c, Rng& rng, Index n) {
       Instance inst{TulipAdapter::describe(*coll), SetOfRegions{}, {},
                     [coll] { return coll->raw(); },
                     [coll] { return coll->gatherGlobal(); }, coll};
+      inst.refill = [coll] {
+        coll->forEachOwned([](Index g, double& v) { v = valueOf(g); });
+      };
       inst.set.add(Region::range(lo, lo + (n - 1) * stride, stride));
       for (Index k = 0; k < n; ++k) inst.setGlobalIds.push_back(lo + k * stride);
       return inst;
@@ -240,20 +252,39 @@ TEST_P(FuzzCopyP, RandomConfigurationMatchesOracle) {
         computeSchedule(c, src.obj, src.set, dst.obj, dst.set, method);
     dataMove<double>(c, sched, src.raw(), dst.raw());
 
-    const auto got = dst.gather();
     std::map<Index, double> expect;
     for (Index k = 0; k < n; ++k) {
       expect[dst.setGlobalIds[static_cast<size_t>(k)]] =
           valueOf(src.setGlobalIds[static_cast<size_t>(k)]);
     }
-    for (size_t g = 0; g < got.size(); ++g) {
-      const auto it = expect.find(static_cast<Index>(g));
-      const double want =
-          it != expect.end() ? it->second : valueOf(static_cast<Index>(g));
-      ASSERT_DOUBLE_EQ(got[g], want)
-          << "seed " << seed << " libs " << srcLib << "->" << dstLib
-          << " np " << nprocs << " global " << g;
-    }
+    const auto checkOracle = [&](const std::vector<double>& got,
+                                 const char* pass) {
+      for (size_t g = 0; g < got.size(); ++g) {
+        const auto it = expect.find(static_cast<Index>(g));
+        const double want =
+            it != expect.end() ? it->second : valueOf(static_cast<Index>(g));
+        ASSERT_DOUBLE_EQ(got[g], want)
+            << pass << " seed " << seed << " libs " << srcLib << "->" << dstLib
+            << " np " << nprocs << " global " << g;
+      }
+    };
+    checkOracle(dst.gather(), "fresh");
+
+    // Cached re-execution: restore the destination to its initial contents,
+    // fetch the same schedule through a cache twice (the second lookup must
+    // hit and return the identical — run-compressed — schedule), re-execute
+    // and hold it to the same oracle.
+    ScheduleCache cache;
+    const auto cached =
+        cache.getOrBuild(c, src.obj, src.set, dst.obj, dst.set, method);
+    const auto cachedAgain =
+        cache.getOrBuild(c, src.obj, src.set, dst.obj, dst.set, method);
+    ASSERT_EQ(cached.get(), cachedAgain.get());
+    ASSERT_EQ(cache.stats().hits, 1u);
+    ASSERT_TRUE(cached->plan.compressed());
+    dst.refill();
+    dataMove<double>(c, *cachedAgain, src.raw(), dst.raw());
+    checkOracle(dst.gather(), "cached");
   });
 }
 

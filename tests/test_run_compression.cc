@@ -1,0 +1,264 @@
+// Run compression (sched/run_plan.h) must be an exact, order-preserving
+// re-encoding of offset lists: adversarial patterns round-trip through
+// compress/expand unchanged, and compressed pack/unpack/local-copy produce
+// bit-identical results to the element-wise baseline.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sched/run_plan.h"
+#include "sched/schedule.h"
+#include "transport/world.h"
+#include "util/rng.h"
+
+namespace mc::sched {
+namespace {
+
+using layout::Index;
+using transport::Comm;
+using transport::World;
+
+std::vector<Index> expand(const std::vector<OffsetRun>& runs) {
+  return expandOffsets(std::span<const OffsetRun>(runs));
+}
+
+std::vector<OffsetRun> compress(const std::vector<Index>& offsets) {
+  return compressOffsets(std::span<const Index>(offsets));
+}
+
+TEST(RunCompression, EmptyList) {
+  const auto runs = compress({});
+  EXPECT_TRUE(runs.empty());
+  EXPECT_EQ(runElementCount(std::span<const OffsetRun>(runs)), 0);
+}
+
+TEST(RunCompression, AllContiguousIsOneRun) {
+  std::vector<Index> offsets(1000);
+  std::iota(offsets.begin(), offsets.end(), Index{17});
+  const auto runs = compress(offsets);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].start, 17);
+  EXPECT_EQ(runs[0].count, 1000);
+  EXPECT_EQ(runs[0].stride, 1);
+  EXPECT_EQ(expand(runs), offsets);
+}
+
+TEST(RunCompression, StridedIsOneRun) {
+  std::vector<Index> offsets;
+  for (Index k = 0; k < 64; ++k) offsets.push_back(5 + 7 * k);
+  const auto runs = compress(offsets);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].stride, 7);
+  EXPECT_EQ(expand(runs), offsets);
+}
+
+TEST(RunCompression, DescendingStrideRoundTrips) {
+  std::vector<Index> offsets;
+  for (Index k = 0; k < 20; ++k) offsets.push_back(100 - 3 * k);
+  const auto runs = compress(offsets);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].stride, -3);
+  EXPECT_EQ(expand(runs), offsets);
+}
+
+TEST(RunCompression, RepeatedOffsetIsStrideZeroRun) {
+  // A source element fanned out to several destinations.
+  const std::vector<Index> offsets{4, 4, 4, 4};
+  const auto runs = compress(offsets);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].stride, 0);
+  EXPECT_EQ(runs[0].count, 4);
+  EXPECT_EQ(expand(runs), offsets);
+}
+
+TEST(RunCompression, SingletonSoupRoundTrips) {
+  // Worst case: no two consecutive offsets continue a progression once a
+  // run is longer than one element.
+  const std::vector<Index> offsets{0, 10, 11, 3, 40, 41, 42, 5, 2, 90};
+  const auto runs = compress(offsets);
+  EXPECT_EQ(expand(runs), offsets);
+  EXPECT_EQ(runElementCount(std::span<const OffsetRun>(runs)),
+            static_cast<Index>(offsets.size()));
+}
+
+TEST(RunCompression, RandomListsRoundTripExactly) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Index> offsets;
+    const int n = static_cast<int>(rng.below(201));
+    for (int i = 0; i < n; ++i) {
+      offsets.push_back(static_cast<Index>(rng.below(300)));
+    }
+    const auto runs = compress(offsets);
+    EXPECT_EQ(expand(runs), offsets) << "trial " << trial;
+  }
+}
+
+TEST(RunCompression, PackMatchesElementwise) {
+  Rng rng(7);
+  std::vector<double> src(512);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<double>(i) * 1.5;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Index> offsets;
+    // Mix contiguous blocks, strided rows, and repeats.
+    for (int b = 0; b < 6; ++b) {
+      const Index start = static_cast<Index>(rng.below(400));
+      const Index stride = static_cast<Index>(rng.below(4));
+      const Index count = static_cast<Index>(1 + rng.below(30));
+      for (Index k = 0; k < count && start + k * stride < 512; ++k) {
+        offsets.push_back(start + k * stride);
+      }
+    }
+    std::vector<double> want;
+    want.reserve(offsets.size());
+    for (Index off : offsets) want.push_back(src[static_cast<size_t>(off)]);
+
+    const auto runs = compress(offsets);
+    std::vector<double> got(offsets.size());
+    packRuns(std::span<const double>(src), std::span<const OffsetRun>(runs),
+             got.data());
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+TEST(RunCompression, UnpackAndUnpackAddMatchElementwise) {
+  // Distinct destination offsets (unpack targets never repeat in a
+  // schedule); stride-1, strided and singleton runs mixed.
+  std::vector<Index> offsets;
+  for (Index k = 0; k < 10; ++k) offsets.push_back(k);          // contiguous
+  for (Index k = 0; k < 10; ++k) offsets.push_back(30 + 3 * k); // strided
+  offsets.push_back(99);
+  offsets.push_back(85);
+  std::vector<double> buf(offsets.size());
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = 100.0 + static_cast<double>(i);
+
+  std::vector<double> wantSet(128, -1.0), gotSet(128, -1.0);
+  std::vector<double> wantAdd(128, 0.5), gotAdd(128, 0.5);
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    wantSet[static_cast<size_t>(offsets[i])] = buf[i];
+    wantAdd[static_cast<size_t>(offsets[i])] += buf[i];
+  }
+  const auto runs = compress(offsets);
+  unpackRuns(std::span<const OffsetRun>(runs), buf.data(),
+             std::span<double>(gotSet));
+  unpackRunsAdd(std::span<const OffsetRun>(runs), buf.data(),
+                std::span<double>(gotAdd));
+  EXPECT_EQ(gotSet, wantSet);
+  EXPECT_EQ(gotAdd, wantAdd);
+}
+
+TEST(RunCompression, LocalPairsRoundTripAndAliasSafety) {
+  // Pairs compress to (src, dst, count, srcStride, dstStride) runs; the
+  // contiguous executor path must behave read-all-then-write (memmove).
+  std::vector<std::pair<Index, Index>> pairs;
+  for (Index k = 0; k < 16; ++k) pairs.emplace_back(k, 40 + k);  // contiguous
+  for (Index k = 0; k < 8; ++k) pairs.emplace_back(20 + 2 * k, 60 + 3 * k);
+  const auto runs =
+      compressPairs(std::span<const std::pair<Index, Index>>(pairs));
+
+  std::vector<double> want(100), got(100);
+  for (size_t i = 0; i < 100; ++i) want[i] = got[i] = static_cast<double>(i);
+  for (const auto& [from, to] : pairs) {
+    want[static_cast<size_t>(to)] = static_cast<double>(from);
+  }
+  copyLocalRuns(std::span<const LocalRun>(runs), std::span<const double>(got),
+                std::span<double>(got));
+  EXPECT_EQ(got, want);
+}
+
+TEST(RunCompression, ScheduleCompressIsIdempotentAndExact) {
+  Schedule s;
+  s.sends.push_back(OffsetPlan{1, {0, 1, 2, 3, 10, 20, 30, 7}, {}});
+  s.recvs.push_back(OffsetPlan{2, {5, 5, 5, 9}, {}});
+  s.localPairs = {{0, 50}, {1, 51}, {2, 52}, {9, 70}};
+  s.compress();
+  EXPECT_TRUE(s.compressed());
+  const auto runsBefore = s.sends[0].runs;
+  s.compress();
+  EXPECT_EQ(s.sends[0].runs.size(), runsBefore.size());
+  EXPECT_EQ(expand(s.sends[0].runs), s.sends[0].offsets);
+  EXPECT_EQ(expand(s.recvs[0].runs), s.recvs[0].offsets);
+}
+
+TEST(RunCompression, CompressedExecuteEqualsUncompressed) {
+  // The same schedule, compressed and not, must move bytes identically —
+  // including the local direct-copy path with aliasing src/dst.
+  World::runSPMD(3, [](Comm& c) {
+    const int np = c.size();
+    const int me = c.rank();
+    const Index perRank = 40;
+    // Ring schedule: each rank sends a strided slice to the next rank and
+    // keeps a contiguous slice locally.
+    Schedule plain;
+    plain.bufferLocalCopies = false;
+    OffsetPlan send;
+    send.peer = (me + 1) % np;
+    for (Index k = 0; k < 10; ++k) send.offsets.push_back(3 * k);
+    OffsetPlan recv;
+    recv.peer = (me + np - 1) % np;
+    for (Index k = 0; k < 10; ++k) recv.offsets.push_back(perRank - 1 - k);
+    plain.sends.push_back(send);
+    plain.recvs.push_back(recv);
+    for (Index k = 0; k < 6; ++k) plain.localPairs.emplace_back(k, 12 + k);
+
+    Schedule fast = plain;
+    fast.compress();
+
+    auto fill = [&](std::vector<double>& v) {
+      v.resize(static_cast<size_t>(perRank));
+      for (Index k = 0; k < perRank; ++k) {
+        v[static_cast<size_t>(k)] =
+            static_cast<double>(me) * 1000.0 + static_cast<double>(k);
+      }
+    };
+    std::vector<double> a, b;
+    fill(a);
+    fill(b);
+    execute<double>(c, plain, a, a, c.nextUserTag());
+    execute<double>(c, fast, b, b, c.nextUserTag());
+    EXPECT_EQ(a, b);
+
+    // And the scatter-add executor.
+    std::vector<double> a2, b2;
+    fill(a2);
+    fill(b2);
+    executeAdd<double>(c, plain, a2, a2, c.nextUserTag());
+    executeAdd<double>(c, fast, b2, b2, c.nextUserTag());
+    EXPECT_EQ(a2, b2);
+  });
+}
+
+TEST(RunCompression, MergePreservesCompressionExactness) {
+  // merge() concatenates per-peer offsets; when all parts were compressed
+  // the result must come back compressed and still expand exactly.
+  std::vector<Schedule> parts(2);
+  for (auto& p : parts) p.bufferLocalCopies = false;
+  parts[0].sends.push_back(OffsetPlan{0, {0, 1, 2}, {}});
+  parts[1].sends.push_back(OffsetPlan{0, {10, 11, 12}, {}});
+  parts[0].compress();
+  parts[1].compress();
+  const Schedule merged = merge(std::span<const Schedule>(parts));
+  ASSERT_EQ(merged.sends.size(), 1u);
+  EXPECT_EQ(merged.sends[0].offsets,
+            (std::vector<Index>{0, 1, 2, 10, 11, 12}));
+  EXPECT_TRUE(merged.compressed());
+  EXPECT_EQ(expand(merged.sends[0].runs), merged.sends[0].offsets);
+}
+
+TEST(RunCompression, ReverseCarriesRunsWithFlippedLocals) {
+  Schedule s;
+  s.bufferLocalCopies = false;
+  s.sends.push_back(OffsetPlan{1, {0, 1, 2, 9}, {}});
+  s.recvs.push_back(OffsetPlan{1, {4, 6, 8}, {}});
+  s.localPairs = {{0, 10}, {1, 11}};
+  s.compress();
+  const Schedule r = reverse(s);
+  EXPECT_TRUE(r.compressed());
+  EXPECT_EQ(expand(r.sends[0].runs), s.recvs[0].offsets);
+  EXPECT_EQ(expand(r.recvs[0].runs), s.sends[0].offsets);
+  ASSERT_EQ(r.localPairs.size(), 2u);
+  EXPECT_EQ(r.localPairs[0], (std::pair<Index, Index>{10, 0}));
+}
+
+}  // namespace
+}  // namespace mc::sched

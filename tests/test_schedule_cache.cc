@@ -1,0 +1,486 @@
+// The schedule cache: identical rebuilds hit, any key ingredient change
+// misses, LRU eviction respects capacity, cached schedules move bytes
+// exactly like freshly built ones for every adapter pair, and the MC_* API
+// surfaces the counters.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "chaos/partition.h"
+#include "core/adapters/chaos_adapter.h"
+#include "core/adapters/hpf_adapter.h"
+#include "core/adapters/parti_adapter.h"
+#include "core/adapters/tulip_adapter.h"
+#include "core/copy_regions.h"
+#include "core/mc_api.h"
+#include "core/schedule_cache.h"
+#include "hpfrt/redistribute.h"
+#include "parti/sched_cache.h"
+#include "transport/world.h"
+
+namespace mc::core {
+namespace {
+
+using layout::Index;
+using layout::Point;
+using layout::RegularSection;
+using layout::Shape;
+using transport::Comm;
+using transport::ProgramSpec;
+using transport::World;
+
+// ---------------------------------------------------------------------------
+// KeyedCache unit tests (no world needed).
+
+sched::KeyedCache<int>::Key keyOf(int salt) {
+  HashStream h;
+  h.pod(salt);
+  return h.digest();
+}
+
+TEST(KeyedCache, FindCountsHitsAndMisses) {
+  sched::KeyedCache<int> cache(4);
+  EXPECT_EQ(cache.find(keyOf(1)), nullptr);
+  cache.insert(keyOf(1), std::make_shared<int>(10));
+  const auto hit = cache.find(keyOf(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 10);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(KeyedCache, PeekDoesNotTouchStatsOrOrder) {
+  sched::KeyedCache<int> cache(2);
+  cache.insert(keyOf(1), std::make_shared<int>(1));
+  cache.insert(keyOf(2), std::make_shared<int>(2));
+  EXPECT_NE(cache.peek(keyOf(1)), nullptr);
+  EXPECT_EQ(cache.peek(keyOf(3)), nullptr);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(KeyedCache, LruEvictionRespectsCapacity) {
+  sched::KeyedCache<int> cache(2);
+  cache.insert(keyOf(1), std::make_shared<int>(1));
+  cache.insert(keyOf(2), std::make_shared<int>(2));
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_NE(cache.find(keyOf(1)), nullptr);
+  cache.insert(keyOf(3), std::make_shared<int>(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.peek(keyOf(1)), nullptr);
+  EXPECT_EQ(cache.peek(keyOf(2)), nullptr);  // evicted
+  EXPECT_NE(cache.peek(keyOf(3)), nullptr);
+}
+
+TEST(KeyedCache, SetCapacityEvictsDown) {
+  sched::KeyedCache<int> cache(8);
+  for (int i = 0; i < 6; ++i) cache.insert(keyOf(i), std::make_shared<int>(i));
+  cache.setCapacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 4u);
+  // The two most recently inserted survive.
+  EXPECT_NE(cache.peek(keyOf(4)), nullptr);
+  EXPECT_NE(cache.peek(keyOf(5)), nullptr);
+}
+
+TEST(KeyedCache, InsertReplacesUnderSameKey) {
+  sched::KeyedCache<int> cache(2);
+  cache.insert(keyOf(1), std::make_shared<int>(1));
+  cache.insert(keyOf(1), std::make_shared<int>(99));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.peek(keyOf(1)), 99);
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleCache behaviour on live distributed objects.
+
+enum class Lib { kParti, kHpf, kChaos, kTulip };
+constexpr Index kElems = 16;
+
+double valueOf(Index g) { return 2000.0 + static_cast<double>(g); }
+
+struct Instance {
+  DistObject obj;
+  SetOfRegions set;
+  std::vector<Index> setGlobalIds;
+  std::function<std::span<double>()> raw;
+  std::function<std::vector<double>()> gather;
+  std::function<void(double)> refill;  // value base -> re-initialize
+  std::shared_ptr<void> holder;
+};
+
+Instance makeParti(Comm& c) {
+  auto arr = std::make_shared<parti::BlockDistArray<double>>(
+      c, Shape::of({8, 8}), /*ghost=*/1);
+  auto fill = [arr](double base) {
+    arr->fillByPoint(
+        [base](const Point& p) { return base + static_cast<double>(p[0] * 8 + p[1]); });
+  };
+  fill(2000.0);
+  Instance inst{PartiAdapter::describe(*arr),
+                SetOfRegions{},
+                {},
+                [arr]() { return arr->raw(); },
+                [arr]() { return arr->gatherGlobal(); },
+                fill,
+                arr};
+  const RegularSection r = RegularSection::box({2, 2}, {5, 5});
+  inst.set.add(Region::section(r));
+  r.forEach([&](const Point& p, Index) {
+    inst.setGlobalIds.push_back(p[0] * 8 + p[1]);
+  });
+  return inst;
+}
+
+Instance makeHpf(Comm& c) {
+  auto arr = std::make_shared<hpfrt::HpfArray<double>>(
+      c, hpfrt::HpfDist(Shape::of({32}),
+                        {hpfrt::DimDist{hpfrt::DistKind::kCyclic, c.size(), 1}}));
+  auto fill = [arr](double base) {
+    arr->fillByPoint([base](const Point& p) { return base + static_cast<double>(p[0]); });
+  };
+  fill(2000.0);
+  Instance inst{HpfAdapter::describe(*arr),
+                SetOfRegions{},
+                {},
+                [arr]() { return arr->raw(); },
+                [arr]() { return arr->gatherGlobal(); },
+                fill,
+                arr};
+  const RegularSection r = RegularSection::of({1}, {31}, {2});
+  inst.set.add(Region::section(r));
+  r.forEach([&](const Point& p, Index) { inst.setGlobalIds.push_back(p[0]); });
+  return inst;
+}
+
+Instance makeChaos(Comm& c, bool replicated) {
+  const Index n = 20;
+  const auto mine = chaos::randomPartition(n, c.size(), c.rank(), 5);
+  auto table = std::make_shared<const chaos::TranslationTable>(
+      chaos::TranslationTable::build(
+          c, mine, n,
+          replicated ? chaos::TranslationTable::Storage::kReplicated
+                     : chaos::TranslationTable::Storage::kDistributed));
+  auto arr = std::make_shared<chaos::IrregArray<double>>(c, table, mine);
+  auto fill = [arr](double base) {
+    arr->fillByGlobal([base](Index g) { return base + static_cast<double>(g); });
+  };
+  fill(2000.0);
+  Instance inst{ChaosAdapter::describe(*arr),
+                SetOfRegions{},
+                {},
+                [arr]() { return arr->raw(); },
+                [arr]() { return arr->gatherGlobal(); },
+                fill,
+                arr};
+  std::vector<Index> ids;
+  for (Index k = 0; k < kElems; ++k) ids.push_back((3 * k + 1) % n);
+  // (3k+1) mod 20 over k=0..15 yields 16 distinct indices.
+  inst.set.add(Region::indices(ids));
+  inst.setGlobalIds = ids;
+  return inst;
+}
+
+Instance makeTulip(Comm& c) {
+  const Index n = 40;
+  auto coll = std::make_shared<tulip::Collection<double>>(
+      c, n, tulip::Placement::kCyclic);
+  auto fill = [coll](double base) {
+    coll->forEachOwned([base](Index g, double& v) { v = base + static_cast<double>(g); });
+  };
+  fill(2000.0);
+  Instance inst{TulipAdapter::describe(*coll),
+                SetOfRegions{},
+                {},
+                [coll]() { return coll->raw(); },
+                [coll]() { return coll->gatherGlobal(); },
+                fill,
+                coll};
+  inst.set.add(Region::range(3, 33, 2));
+  for (Index k = 0; k < kElems; ++k) inst.setGlobalIds.push_back(3 + 2 * k);
+  return inst;
+}
+
+Instance makeInstance(Lib lib, Comm& c, bool chaosReplicated = false) {
+  switch (lib) {
+    case Lib::kParti: return makeParti(c);
+    case Lib::kHpf: return makeHpf(c);
+    case Lib::kChaos: return makeChaos(c, chaosReplicated);
+    case Lib::kTulip: return makeTulip(c);
+  }
+  MC_CHECK(false);
+  return makeParti(c);
+}
+
+TEST(ScheduleCache, IdenticalRebuildHitsAndSharesTheSchedule) {
+  World::runSPMD(3, [](Comm& c) {
+    ScheduleCache cache;
+    Instance src = makeParti(c);
+    Instance dst = makeHpf(c);
+    const auto first =
+        cache.getOrBuild(c, src.obj, src.set, dst.obj, dst.set);
+    const auto second =
+        cache.getOrBuild(c, src.obj, src.set, dst.obj, dst.set);
+    EXPECT_EQ(first.get(), second.get());  // same cached object
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+    EXPECT_TRUE(first->plan.compressed());
+  });
+}
+
+TEST(ScheduleCache, AnyKeyIngredientChangeMisses) {
+  World::runSPMD(2, [](Comm& c) {
+    ScheduleCache cache;
+    Instance src = makeParti(c);
+    Instance dst = makeTulip(c);
+    (void)cache.getOrBuild(c, src.obj, src.set, dst.obj, dst.set);
+
+    // Different destination regions (same element count).
+    SetOfRegions otherSet;
+    otherSet.add(Region::range(4, 34, 2));
+    (void)cache.getOrBuild(c, src.obj, src.set, dst.obj, otherSet);
+    EXPECT_EQ(cache.stats().misses, 2u);
+
+    // Different method.
+    (void)cache.getOrBuild(c, src.obj, src.set, dst.obj, dst.set,
+                           Method::kDuplication);
+    EXPECT_EQ(cache.stats().misses, 3u);
+
+    // Different source distribution (ghost width changes the descriptor).
+    auto arr2 = std::make_shared<parti::BlockDistArray<double>>(
+        c, Shape::of({8, 8}), /*ghost=*/2);
+    arr2->fillByPoint([](const Point& p) { return valueOf(p[0] * 8 + p[1]); });
+    (void)cache.getOrBuild(c, PartiAdapter::describe(*arr2), src.set, dst.obj,
+                           dst.set);
+    EXPECT_EQ(cache.stats().misses, 4u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    // The original key still hits.
+    (void)cache.getOrBuild(c, src.obj, src.set, dst.obj, dst.set);
+    EXPECT_EQ(cache.stats().hits, 1u);
+  });
+}
+
+TEST(ScheduleCache, EvictionRespectsCapacity) {
+  World::runSPMD(2, [](Comm& c) {
+    ScheduleCache cache(/*capacity=*/1);
+    Instance src = makeParti(c);
+    Instance dst = makeTulip(c);
+    SetOfRegions setB;
+    setB.add(Region::range(4, 34, 2));
+
+    (void)cache.getOrBuild(c, src.obj, src.set, dst.obj, dst.set);
+    (void)cache.getOrBuild(c, src.obj, src.set, dst.obj, setB);  // evicts
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    // The first schedule was evicted: rebuilding it misses again.
+    (void)cache.getOrBuild(c, src.obj, src.set, dst.obj, dst.set);
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+  });
+}
+
+TEST(ScheduleCache, DivergentRanksAgreeOnMissWithoutDeadlock) {
+  // If one rank lost its cached copy (here: forced clear), the collective
+  // agreement must make every rank rebuild together instead of deadlocking.
+  World::runSPMD(3, [](Comm& c) {
+    ScheduleCache cache;
+    Instance src = makeHpf(c);
+    Instance dst = makeChaos(c, /*replicated=*/false);
+    const auto first = cache.getOrBuild(c, src.obj, src.set, dst.obj, dst.set);
+    if (c.rank() == 0) cache.clear();
+    const auto second = cache.getOrBuild(c, src.obj, src.set, dst.obj, dst.set);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(cache.stats().misses, 2u);  // all ranks rebuild in lockstep
+    // The rebuilt schedule matches the original plan.
+    ASSERT_EQ(second->plan.sends.size(), first->plan.sends.size());
+    for (size_t i = 0; i < second->plan.sends.size(); ++i) {
+      EXPECT_EQ(second->plan.sends[i].offsets, first->plan.sends[i].offsets);
+    }
+  });
+}
+
+struct CachePairCase {
+  Lib src;
+  Lib dst;
+};
+
+class CachedCopyPairP : public ::testing::TestWithParam<CachePairCase> {};
+
+TEST_P(CachedCopyPairP, CachedEqualsFreshBitwise) {
+  const CachePairCase tc = GetParam();
+  World::runSPMD(3, [&](Comm& c) {
+    Instance src = makeInstance(tc.src, c);
+    Instance dst = makeInstance(tc.dst, c);
+
+    // Fresh (uncached, uncompressed) schedule and copy.
+    const McSchedule fresh =
+        computeSchedule(c, src.obj, src.set, dst.obj, dst.set);
+    dst.refill(4000.0);
+    dataMove<double>(c, fresh, src.raw(), dst.raw());
+    const auto wantDst = dst.gather();
+
+    // Reset the destination to the same pre-copy state, then copy through
+    // the cache twice; the second pass must be a hit and reproduce the
+    // same bytes (set elements carry source values, so a dropped copy
+    // would leave the refill value behind and fail the comparison).
+    ScheduleCache cache;
+    dst.refill(4000.0);
+    copyRegions<double>(c, src.obj, src.set, src.raw(), dst.obj, dst.set,
+                        dst.raw(), Method::kCooperation, &cache);
+    EXPECT_EQ(dst.gather(), wantDst);
+
+    dst.refill(4000.0);
+    copyRegions<double>(c, src.obj, src.set, src.raw(), dst.obj, dst.set,
+                        dst.raw(), Method::kCooperation, &cache);
+    EXPECT_EQ(dst.gather(), wantDst);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+  });
+}
+
+std::vector<CachePairCase> cachePairs() {
+  std::vector<CachePairCase> cases;
+  for (Lib s : {Lib::kParti, Lib::kHpf, Lib::kChaos, Lib::kTulip}) {
+    for (Lib d : {Lib::kParti, Lib::kHpf, Lib::kChaos, Lib::kTulip}) {
+      cases.push_back(CachePairCase{s, d});
+    }
+  }
+  return cases;
+}
+
+const char* libName(Lib l) {
+  switch (l) {
+    case Lib::kParti: return "parti";
+    case Lib::kHpf: return "hpf";
+    case Lib::kChaos: return "chaos";
+    case Lib::kTulip: return "tulip";
+  }
+  return "?";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, CachedCopyPairP, ::testing::ValuesIn(cachePairs()),
+    [](const ::testing::TestParamInfo<CachePairCase>& info) {
+      return std::string(libName(info.param.src)) + "_to_" +
+             libName(info.param.dst);
+    });
+
+TEST(ScheduleCache, InterProgramHalvesHitInLockstep) {
+  const int kClient = 0, kServer = 1;
+  auto clientMain = [&](Comm& c) {
+    ScheduleCache cache;
+    Instance src = makeParti(c);
+    const auto first =
+        cache.getOrBuildSend(c, src.obj, src.set, kServer);
+    const auto second =
+        cache.getOrBuildSend(c, src.obj, src.set, kServer);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.stats().hits, 1u);
+    core::dataMoveSend<double>(c, *second, src.raw());
+  };
+  auto serverMain = [&](Comm& c) {
+    ScheduleCache cache;
+    Instance dst = makeHpf(c);
+    const auto first = cache.getOrBuildRecv(c, dst.obj, dst.set, kClient);
+    const auto second = cache.getOrBuildRecv(c, dst.obj, dst.set, kClient);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.stats().hits, 1u);
+    core::dataMoveRecv<double>(c, *second, dst.raw());
+    // The transfer pairs elements in set order across the programs.
+    const auto got = dst.gather();
+    for (Index k = 0; k < kElems; ++k) {
+      const Index g = dst.setGlobalIds[static_cast<size_t>(k)];
+      // Client's parti source global id at position k, over an 8x8 mesh.
+      EXPECT_DOUBLE_EQ(got[static_cast<size_t>(g)],
+                       2000.0 + static_cast<double>(
+                                    18 + (k / 4) * 8 + (k % 4)));
+    }
+  };
+  World::run({ProgramSpec{"client", 2, clientMain},
+              ProgramSpec{"server", 2, serverMain}});
+}
+
+TEST(ScheduleCache, McApiSurfacesCounters) {
+  World::runSPMD(2, [](Comm& c) {
+    api::MC_Reset();
+    api::MC_SchedCacheClear();
+    auto arr = std::make_shared<parti::BlockDistArray<double>>(
+        c, Shape::of({8, 8}), 1);
+    arr->fillByPoint([](const Point& p) { return valueOf(p[0] * 8 + p[1]); });
+    auto coll = std::make_shared<tulip::Collection<double>>(
+        c, 40, tulip::Placement::kCyclic);
+    coll->forEachOwned([](Index, double& v) { v = 0.0; });
+
+    const layout::Index lo[2] = {2, 2}, hi[2] = {5, 5};
+    const api::RegionId r1 = api::CreateRegion_Parti(2, lo, hi);
+    const api::SetId s1 = api::MC_NewSetOfRegion();
+    api::MC_AddRegion2Set(r1, s1);
+    const api::RegionId r2 = api::CreateRegion_PCXX(3, 33, 2);
+    const api::SetId s2 = api::MC_NewSetOfRegion();
+    api::MC_AddRegion2Set(r2, s2);
+    const api::ObjectId o1 = api::MC_RegisterParti(*arr);
+    const api::ObjectId o2 = api::MC_RegisterPCXX(*coll);
+
+    const api::SchedId h1 = api::MC_ComputeSched(c, o1, s1, o2, s2);
+    const api::SchedId h2 = api::MC_ComputeSched(c, o1, s1, o2, s2);
+    EXPECT_NE(h1, h2);  // fresh handle...
+    EXPECT_EQ(&api::MC_GetSched(h1), &api::MC_GetSched(h2));  // ...same schedule
+    EXPECT_EQ(api::MC_SchedCacheStats().misses, 1u);
+    EXPECT_EQ(api::MC_SchedCacheStats().hits, 1u);
+
+    api::MC_SchedCacheResetStats();
+    EXPECT_EQ(api::MC_SchedCacheStats().hits, 0u);
+    // Entries survive a stats reset.
+    (void)api::MC_ComputeSched(c, o1, s1, o2, s2);
+    EXPECT_EQ(api::MC_SchedCacheStats().hits, 1u);
+
+    api::MC_SchedCacheClear();
+    (void)api::MC_ComputeSched(c, o1, s1, o2, s2);
+    EXPECT_EQ(api::MC_SchedCacheStats().misses, 1u);
+    api::MC_Reset();
+    api::MC_SchedCacheClear();
+  });
+}
+
+TEST(ScheduleCache, LibraryCachesHitOnRebuild) {
+  World::runSPMD(2, [](Comm& c) {
+    // Parti ghost + section-copy cache.
+    parti::partiScheduleCache().clear();
+    parti::partiScheduleCache().resetStats();
+    parti::PartiDesc desc{layout::BlockDecomp(Shape::of({8, 8}), {c.size(), 1}),
+                          1};
+    const auto g1 = parti::cachedGhostSchedule(desc, c.rank());
+    const auto g2 = parti::cachedGhostSchedule(desc, c.rank());
+    EXPECT_EQ(g1.get(), g2.get());
+    EXPECT_TRUE(g1->compressed());
+    EXPECT_EQ(parti::partiScheduleCache().stats().hits, 1u);
+
+    // HPF redistribution cache via sectionAssign.
+    hpfrt::hpfScheduleCache().clear();
+    hpfrt::hpfScheduleCache().resetStats();
+    hpfrt::HpfArray<double> a(
+        c, hpfrt::HpfDist(Shape::of({24}),
+                          {hpfrt::DimDist{hpfrt::DistKind::kBlock, c.size(), 1}}));
+    hpfrt::HpfArray<double> b(
+        c, hpfrt::HpfDist(Shape::of({24}),
+                          {hpfrt::DimDist{hpfrt::DistKind::kCyclic, c.size(), 1}}));
+    a.fillByPoint([](const Point& p) { return valueOf(p[0]); });
+    const RegularSection whole = RegularSection::box({0}, {23});
+    hpfrt::sectionAssign(a, whole, b, whole);
+    hpfrt::sectionAssign(a, whole, b, whole);
+    EXPECT_EQ(hpfrt::hpfScheduleCache().stats().misses, 1u);
+    EXPECT_EQ(hpfrt::hpfScheduleCache().stats().hits, 1u);
+    const auto got = b.gatherGlobal();
+    for (Index g = 0; g < 24; ++g) {
+      EXPECT_DOUBLE_EQ(got[static_cast<size_t>(g)], valueOf(g));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mc::core

@@ -26,31 +26,33 @@ void executeUnaggregated(transport::Comm& c, const core::McSchedule& sched,
   constexpr size_t kSlice = 64;
   const int tag = c.nextUserTag();
   for (const sched::OffsetPlan& plan : sched.plan.sends) {
-    for (size_t base = 0; base < plan.offsets.size(); base += kSlice) {
-      const size_t end = std::min(plan.offsets.size(), base + kSlice);
+    const std::vector<Index> offsets = plan.expandedOffsets();
+    for (size_t base = 0; base < offsets.size(); base += kSlice) {
+      const size_t end = std::min(offsets.size(), base + kSlice);
       std::vector<double> buf;
       c.compute([&] {
         buf.reserve(end - base);
         for (size_t i = base; i < end; ++i) {
-          buf.push_back(src[static_cast<size_t>(plan.offsets[i])]);
+          buf.push_back(src[static_cast<size_t>(offsets[i])]);
         }
       });
       c.send(plan.peer, tag, buf);
     }
   }
   c.compute([&] {
-    for (const auto& [from, to] : sched.plan.localPairs) {
+    for (const auto& [from, to] : sched.plan.expandedLocalPairs()) {
       dst[static_cast<size_t>(to)] = src[static_cast<size_t>(from)];
     }
   });
   for (const sched::OffsetPlan& plan : sched.plan.recvs) {
-    for (size_t base = 0; base < plan.offsets.size(); base += kSlice) {
-      const size_t end = std::min(plan.offsets.size(), base + kSlice);
+    const std::vector<Index> offsets = plan.expandedOffsets();
+    for (size_t base = 0; base < offsets.size(); base += kSlice) {
+      const size_t end = std::min(offsets.size(), base + kSlice);
       const std::vector<double> buf = c.recv<double>(plan.peer, tag);
-      MC_REQUIRE(buf.size() == end - base, "slice mismatch: rank %d peer %d got %zu want %zu planlen %zu", c.rank(), plan.peer, buf.size(), end - base, plan.offsets.size());
+      MC_REQUIRE(buf.size() == end - base, "slice mismatch: rank %d peer %d got %zu want %zu planlen %zu", c.rank(), plan.peer, buf.size(), end - base, offsets.size());
       c.compute([&] {
         for (size_t i = base; i < end; ++i) {
-          dst[static_cast<size_t>(plan.offsets[i])] = buf[i - base];
+          dst[static_cast<size_t>(offsets[i])] = buf[i - base];
         }
       });
     }

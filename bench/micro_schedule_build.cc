@@ -1,0 +1,229 @@
+// Micro benchmark for the run-native schedule builder.
+//
+// Measures cooperation-schedule build time (virtual clock) and the peak
+// per-rank ownership-table footprint for three library pairings:
+//
+//   * regular -> regular     (parti block -> hpf block): every section row
+//     is one run, so the run-native build is O(runs) in both time and
+//     table bytes while the element-wise reference pays one table entry
+//     per element;
+//   * regular -> irregular   (parti block -> chaos distributed): the
+//     regular side compresses, the irregular side stays per-element;
+//   * irregular -> irregular (chaos -> chaos, different partitions and a
+//     shuffled index set): the adversarial floor — runs degenerate to
+//     single elements and the two pipelines should be within noise.
+//
+// Emits BENCH_schedule_build.json next to the ascii table so the perf
+// trajectory is machine-trackable.
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "chaos/partition.h"
+#include "common/bench_util.h"
+#include "core/adapters/chaos_adapter.h"
+#include "core/adapters/hpf_adapter.h"
+#include "core/adapters/parti_adapter.h"
+#include "core/schedule_builder.h"
+#include "util/rng.h"
+
+using namespace mc;
+using layout::Index;
+using layout::Point;
+using layout::RegularSection;
+using layout::Shape;
+
+namespace {
+
+constexpr int kProcs = 8;
+constexpr Index kSide = 768;  // 589824 elements per set
+constexpr int kReps = 3;
+
+struct Measurement {
+  double buildSeconds = 0;      // per build, averaged over kReps
+  double peakTableBytes = 0;    // max over ranks, last build
+};
+
+struct Case {
+  const char* name;
+  // Returns (srcObj, srcSet, dstObj, dstSet) holders; built inside the SPMD
+  // region so each mode pass sees identical deterministic inputs.
+  std::function<Measurement(bool elementwise)> run;
+};
+
+std::vector<Index> iotaIds(Index n) {
+  std::vector<Index> ids(static_cast<size_t>(n));
+  std::iota(ids.begin(), ids.end(), Index{0});
+  return ids;
+}
+
+std::vector<Index> shuffledIds(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto perm = rng.permutation(static_cast<std::uint64_t>(n));
+  std::vector<Index> ids(static_cast<size_t>(n));
+  for (size_t k = 0; k < ids.size(); ++k) {
+    ids[k] = static_cast<Index>(perm[k]);
+  }
+  return ids;
+}
+
+std::shared_ptr<chaos::IrregArray<double>> makeIrreg(transport::Comm& c,
+                                                     Index n,
+                                                     std::uint64_t seed) {
+  const auto mine = chaos::randomPartition(n, c.size(), c.rank(), seed);
+  auto table = std::make_shared<const chaos::TranslationTable>(
+      chaos::TranslationTable::build(
+          c, mine, n, chaos::TranslationTable::Storage::kDistributed));
+  return std::make_shared<chaos::IrregArray<double>>(c, table, mine);
+}
+
+/// Runs kReps cooperation builds of (srcObj, srcSet) -> (dstObj, dstSet)
+/// under the current pipeline mode and reports time and peak table bytes.
+template <typename MakeFn>
+Measurement measure(bool elementwise, MakeFn&& make) {
+  const bool prev = core::testing::buildElementwiseForTest(elementwise);
+  Measurement out;
+  transport::World::runSPMD(kProcs, [&](transport::Comm& c) {
+    auto [srcObj, srcSet, dstObj, dstSet, holder] = make(c);
+    bench::PhaseTimer timer(c);
+    for (int i = 0; i < kReps; ++i) {
+      (void)core::computeSchedule(c, srcObj, srcSet, dstObj, dstSet,
+                                  core::Method::kCooperation);
+    }
+    const double t = timer.lap() / kReps;
+    const double peak = c.allreduceMax(
+        static_cast<double>(core::lastBuildStats().ownershipTableBytes));
+    if (c.rank() == 0) {
+      out.buildSeconds = t;
+      out.peakTableBytes = peak;
+    }
+  });
+  core::testing::buildElementwiseForTest(prev);
+  return out;
+}
+
+struct MadeCase {
+  core::DistObject srcObj, dstObj;
+  core::SetOfRegions srcSet, dstSet;
+  std::shared_ptr<void> holder;
+};
+
+}  // namespace
+
+int main() {
+  const Index n = kSide * kSide;
+
+  const auto makeRegularRegular = [&](transport::Comm& c) {
+    auto a = std::make_shared<parti::BlockDistArray<double>>(
+        c, Shape::of({kSide, kSide}), /*ghost=*/1);
+    auto b = std::make_shared<hpfrt::HpfArray<double>>(
+        c, hpfrt::HpfDist::blockEveryDim(Shape::of({kSide, kSide}),
+                                         c.size()));
+    core::SetOfRegions srcSet, dstSet;
+    srcSet.add(core::Region::section(
+        RegularSection::box({0, 0}, {kSide - 1, kSide - 1})));
+    dstSet.add(core::Region::section(
+        RegularSection::box({0, 0}, {kSide - 1, kSide - 1})));
+    auto holder = std::make_shared<std::pair<decltype(a), decltype(b)>>(a, b);
+    return std::tuple{core::PartiAdapter::describe(*a), srcSet,
+                      core::HpfAdapter::describe(*b), dstSet,
+                      std::shared_ptr<void>(holder)};
+  };
+
+  const auto makeRegularIrregular = [&](transport::Comm& c) {
+    auto a = std::make_shared<parti::BlockDistArray<double>>(
+        c, Shape::of({kSide, kSide}), /*ghost=*/1);
+    auto x = makeIrreg(c, n, 42);
+    core::SetOfRegions srcSet, dstSet;
+    srcSet.add(core::Region::section(
+        RegularSection::box({0, 0}, {kSide - 1, kSide - 1})));
+    dstSet.add(core::Region::indices(iotaIds(n)));
+    auto holder = std::make_shared<std::pair<decltype(a), decltype(x)>>(a, x);
+    return std::tuple{core::PartiAdapter::describe(*a), srcSet,
+                      core::ChaosAdapter::describe(*x), dstSet,
+                      std::shared_ptr<void>(holder)};
+  };
+
+  const auto makeIrregularIrregular = [&](transport::Comm& c) {
+    auto x = makeIrreg(c, n, 7);
+    auto y = makeIrreg(c, n, 8);
+    core::SetOfRegions srcSet, dstSet;
+    srcSet.add(core::Region::indices(shuffledIds(n, 5)));
+    dstSet.add(core::Region::indices(shuffledIds(n, 6)));
+    auto holder = std::make_shared<std::pair<decltype(x), decltype(y)>>(x, y);
+    return std::tuple{core::ChaosAdapter::describe(*x), srcSet,
+                      core::ChaosAdapter::describe(*y), dstSet,
+                      std::shared_ptr<void>(holder)};
+  };
+
+  struct Result {
+    const char* name;
+    Measurement elem, runs;
+  };
+  std::vector<Result> results;
+  results.push_back({"regular->regular",
+                     measure(true, makeRegularRegular),
+                     measure(false, makeRegularRegular)});
+  results.push_back({"regular->irregular",
+                     measure(true, makeRegularIrregular),
+                     measure(false, makeRegularIrregular)});
+  results.push_back({"irregular->irregular",
+                     measure(true, makeIrregularIrregular),
+                     measure(false, makeIrregularIrregular)});
+
+  std::vector<std::string> cols;
+  std::vector<double> elemT, runT;
+  for (const Result& r : results) {
+    cols.push_back(r.name);
+    elemT.push_back(r.elem.buildSeconds);
+    runT.push_back(r.runs.buildSeconds);
+  }
+  std::printf("%s\n",
+              bench::renderTable(
+                  strprintf("Cooperation schedule build, %lld elements, "
+                            "%d processors [ms per build]",
+                            static_cast<long long>(n), kProcs),
+                  cols,
+                  {
+                      bench::Row{"element-wise reference", elemT, {}},
+                      bench::Row{"run-native interval join", runT, {}},
+                  })
+                  .c_str());
+  for (const Result& r : results) {
+    std::printf(
+        "%-22s build speedup %5.1fx   peak table bytes/rank: "
+        "%9.0f -> %7.0f (%5.1fx smaller)\n",
+        r.name, r.runs.buildSeconds > 0
+                    ? r.elem.buildSeconds / r.runs.buildSeconds
+                    : 0.0,
+        r.elem.peakTableBytes, r.runs.peakTableBytes,
+        r.runs.peakTableBytes > 0
+            ? r.elem.peakTableBytes / r.runs.peakTableBytes
+            : 0.0);
+  }
+
+  std::ofstream json("BENCH_schedule_build.json");
+  json << "{\n  \"benchmark\": \"schedule_build\",\n  \"procs\": " << kProcs
+       << ",\n  \"elements\": " << n << ",\n  \"reps\": " << kReps
+       << ",\n  \"cases\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    json << "    {\"name\": \"" << r.name << "\",\n"
+         << "     \"elementwise\": {\"build_seconds\": " << r.elem.buildSeconds
+         << ", \"peak_table_bytes\": " << r.elem.peakTableBytes << "},\n"
+         << "     \"run_native\": {\"build_seconds\": " << r.runs.buildSeconds
+         << ", \"peak_table_bytes\": " << r.runs.peakTableBytes << "},\n"
+         << "     \"build_speedup\": "
+         << (r.runs.buildSeconds > 0
+                 ? r.elem.buildSeconds / r.runs.buildSeconds
+                 : 0.0)
+         << ",\n     \"table_bytes_ratio\": "
+         << (r.runs.peakTableBytes > 0
+                 ? r.elem.peakTableBytes / r.runs.peakTableBytes
+                 : 0.0)
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote BENCH_schedule_build.json\n");
+  return 0;
+}

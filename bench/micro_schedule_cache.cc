@@ -11,6 +11,7 @@
 // real CPU cost of the executor fast path, independent of the network model.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <numeric>
 
 #include "chaos/partition.h"
@@ -193,5 +194,16 @@ int main() {
   std::printf("expected: contiguous and blocked patterns collapse to a few\n"
               "memcpy calls; pure stride-2 keeps one run whose pointer walk\n"
               "still beats chasing an explicit offset list.\n");
+
+  std::ofstream json("BENCH_schedule_cache.json");
+  json << "{\n  \"benchmark\": \"schedule_cache\",\n  \"procs\": " << kProcs
+       << ",\n  \"reps\": " << kReps
+       << ",\n  \"rebuild_seconds\": " << tRebuild
+       << ",\n  \"cached_seconds\": " << tCached
+       << ",\n  \"executor_only_seconds\": " << tExecOnly
+       << ",\n  \"cache_hits\": " << hits << ",\n  \"cache_misses\": "
+       << misses << ",\n  \"amortization_factor\": "
+       << (tCached > 0 ? tRebuild / tCached : 0.0) << "\n}\n";
+  std::printf("wrote BENCH_schedule_cache.json\n");
   return 0;
 }

@@ -53,6 +53,61 @@ struct LinLoc {
   layout::Index offset = 0;
 };
 
+/// A run of linearization positions [lin, lin+count) with one owner, living
+/// at local offsets off + k*offStride.  Regular libraries produce one run
+/// per local section row; fully irregular data degrades to count-1 runs.
+/// Count-1 runs carry offStride 0 (canonical form).
+struct LinRun {
+  layout::Index lin = 0;
+  layout::Index off = 0;
+  layout::Index count = 0;
+  layout::Index offStride = 0;
+
+  bool operator==(const LinRun&) const = default;
+};
+
+/// Extends `lane` with a whole run, greedily coalescing into maximal runs
+/// exactly as element-by-element appends would (same greedy rule as
+/// sched::compressOffsets, with the additional requirement that
+/// linearization positions be contiguous).
+inline void appendLinRun(std::vector<LinRun>& lane, LinRun run) {
+  while (run.count > 0) {
+    if (!lane.empty()) {
+      LinRun& tail = lane.back();
+      if (tail.lin + tail.count == run.lin) {
+        if (tail.count == 1) {
+          tail.offStride = run.off - tail.off;
+          ++tail.count;
+          ++run.lin;
+          run.off += run.offStride;
+          --run.count;
+          continue;
+        }
+        if (run.off == tail.off + tail.count * tail.offStride) {
+          if (run.count == 1 || run.offStride == tail.offStride) {
+            tail.count += run.count;
+            return;
+          }
+          ++tail.count;
+          ++run.lin;
+          run.off += run.offStride;
+          --run.count;
+          continue;
+        }
+      }
+    }
+    if (run.count == 1) run.offStride = 0;
+    lane.push_back(run);
+    return;
+  }
+}
+
+/// Single-element form of appendLinRun.
+inline void appendLinElement(std::vector<LinRun>& lane, layout::Index lin,
+                             layout::Index off) {
+  appendLinRun(lane, LinRun{lin, off, 1, 0});
+}
+
 class LibraryAdapter {
  public:
   virtual ~LibraryAdapter() = default;
@@ -100,6 +155,36 @@ class LibraryAdapter {
       layout::Index linHi,
       const std::function<void(layout::Index lin, int owner,
                                layout::Index offset)>& fn) const;
+
+  /// Callback for run-producing enumeration: positions [lin, lin+count)
+  /// are owned by `owner` at offsets off + k*offStride.  Runs arrive in
+  /// linearization order and never overlap.
+  using RunFn = std::function<void(layout::Index lin, int owner,
+                                   layout::Index off,
+                                   layout::Index count,
+                                   layout::Index offStride)>;
+
+  /// Run-producing form of enumerateOwned: the calling processor's owned
+  /// elements as maximal (lin, off, count, offStride) runs, sorted by
+  /// position.  Collective, like enumerateOwned.  The default shim derives
+  /// runs from enumerateRangeRuns when the descriptor is locally
+  /// enumerable, else coalesces enumerateOwned element-wise — so every
+  /// adapter works unmodified, and regular adapters that override
+  /// enumerateRangeRuns get O(runs) behaviour for free.
+  virtual std::vector<LinRun> enumerateOwnedRuns(const DistObject& obj,
+                                                 const SetOfRegions& set,
+                                                 transport::Comm& comm) const;
+
+  /// Run-producing form of enumerateRange: emits maximal same-owner runs
+  /// covering [linLo, linHi) exactly, in order.  No communication; only
+  /// valid when supportsLocalEnumeration(obj).  The default shim coalesces
+  /// enumerateRange element-wise (O(linHi - linLo)); regular adapters
+  /// override it with an O(runs) implementation — one callback per local
+  /// section row instead of one per element.
+  virtual void enumerateRangeRuns(const DistObject& obj,
+                                  const SetOfRegions& set,
+                                  layout::Index linLo, layout::Index linHi,
+                                  const RunFn& fn) const;
 
   /// A cheap, communication-free content digest of the locally held
   /// descriptor state, used as the descriptor's contribution to schedule

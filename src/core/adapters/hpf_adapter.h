@@ -27,6 +27,11 @@ class HpfAdapter final : public LibraryAdapter {
                       const std::function<void(layout::Index, int,
                                                layout::Index)>& fn)
       const override;
+  /// O(runs): splits section rows along the last dimension at the
+  /// closed-form BLOCK / CYCLIC / CYCLIC(k) ownership boundaries.
+  void enumerateRangeRuns(const DistObject& obj, const SetOfRegions& set,
+                          layout::Index linLo, layout::Index linHi,
+                          const RunFn& fn) const override;
   std::uint64_t localFingerprint(const DistObject& obj) const override;
   std::vector<std::byte> serializeDesc(const DistObject& obj,
                                        transport::Comm& comm) const override;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/adapters/run_emitter.h"
 #include "core/adapters/section_range.h"
 #include "util/hash.h"
 
@@ -65,6 +66,55 @@ void PartiAdapter::enumerateRange(
                                fn(lin, owner,
                                   addr[static_cast<size_t>(owner)].offsetOf(p));
                              });
+}
+
+void PartiAdapter::enumerateRangeRuns(const DistObject& obj,
+                                      const SetOfRegions& set, Index linLo,
+                                      Index linHi, const RunFn& fn) const {
+  const auto& desc = obj.as<parti::PartiDesc>();
+  const layout::BlockDecomp& dec = desc.decomp;
+  std::vector<parti::PartiAddr> addr;
+  addr.reserve(static_cast<size_t>(dec.nprocs()));
+  for (int proc = 0; proc < dec.nprocs(); ++proc) {
+    addr.push_back(desc.addrOf(proc));
+  }
+  // Owners change along a section row only at last-dimension block
+  // boundaries, and local offsets advance by the section stride there (the
+  // padded storage is row-major, last dimension innermost) — so each row
+  // yields one run per owner block instead of one callback per element.
+  const int L = dec.rank() - 1;
+  const Index extL = dec.globalShape()[L];
+  const Index blockL =
+      (extL + dec.grid()[static_cast<size_t>(L)] - 1) /
+      dec.grid()[static_cast<size_t>(L)];
+  RunEmitter emit(fn);
+  Index base = 0;
+  for (const Region& r : set.regions()) {
+    const layout::RegularSection& s = r.asSection();
+    const Index n = s.numElements();
+    const Index lo = std::max(linLo, base);
+    const Index hi = std::min(linHi, base + n);
+    const Index cntL = s.count(L);
+    const Index stL = s.stride[static_cast<size_t>(L)];
+    Index lin = lo;
+    while (lin < hi) {
+      const Index rel = lin - base;
+      layout::Point p = s.pointAt(rel);
+      const Index rowEnd = std::min(hi, lin + (cntL - rel % cntL));
+      while (lin < rowEnd) {
+        const int owner = dec.ownerOf(p);
+        const Index blkHi = std::min(extL, blockL * (p[L] / blockL + 1)) - 1;
+        const Index take = std::min(rowEnd - lin, (blkHi - p[L]) / stL + 1);
+        emit.add(lin, owner, addr[static_cast<size_t>(owner)].offsetOf(p), take,
+                 stL);
+        lin += take;
+        p[L] += take * stL;
+      }
+    }
+    base += n;
+    if (base >= linHi) break;
+  }
+  emit.flush();
 }
 
 std::uint64_t PartiAdapter::localFingerprint(const DistObject& obj) const {

@@ -28,6 +28,11 @@ class PartiAdapter final : public LibraryAdapter {
                       const std::function<void(layout::Index, int,
                                                layout::Index)>& fn)
       const override;
+  /// O(runs): one callback per (section row x owner block) segment, split
+  /// along the last dimension with the closed-form block boundaries.
+  void enumerateRangeRuns(const DistObject& obj, const SetOfRegions& set,
+                          layout::Index linLo, layout::Index linHi,
+                          const RunFn& fn) const override;
   std::uint64_t localFingerprint(const DistObject& obj) const override;
   std::vector<std::byte> serializeDesc(const DistObject& obj,
                                        transport::Comm& comm) const override;

@@ -1,0 +1,69 @@
+// Coalescing emitter for adapter run enumeration.
+//
+// Adapters that override LibraryAdapter::enumerateRangeRuns produce one
+// candidate run per (section row x ownership block) segment.  Those
+// segments are already maximal in the common case, but can be mergeable
+// across row or region boundaries (e.g. a whole-array section on one
+// processor is a single arithmetic run).  RunEmitter buffers the most
+// recent run and merges in-order additions under exactly the greedy rule of
+// appendLinRun — same owner, contiguous linearization positions, exact
+// offset-progression continuation — so the stream it forwards to the RunFn
+// is identical no matter how the adapter cut its segments.
+#pragma once
+
+#include "core/adapter.h"
+
+namespace mc::core {
+
+class RunEmitter {
+ public:
+  explicit RunEmitter(const LibraryAdapter::RunFn& fn) : fn_(fn) {}
+
+  /// Adds positions [lin, lin+count) owned by `owner` at offsets
+  /// off + k*offStride.  Additions must arrive in linearization order.
+  void add(layout::Index lin, int owner, layout::Index off,
+           layout::Index count, layout::Index offStride) {
+    while (count > 0) {
+      if (open_ && owner == curOwner_ && cur_.lin + cur_.count == lin) {
+        if (cur_.count == 1) {
+          cur_.offStride = off - cur_.off;
+          ++cur_.count;
+          ++lin;
+          off += offStride;
+          --count;
+          continue;
+        }
+        if (off == cur_.off + cur_.count * cur_.offStride) {
+          if (count == 1 || offStride == cur_.offStride) {
+            cur_.count += count;
+            return;
+          }
+          ++cur_.count;
+          ++lin;
+          off += offStride;
+          --count;
+          continue;
+        }
+      }
+      if (open_) fn_(cur_.lin, curOwner_, cur_.off, cur_.count, cur_.offStride);
+      cur_ = LinRun{lin, off, count, count == 1 ? 0 : offStride};
+      curOwner_ = owner;
+      open_ = true;
+      return;
+    }
+  }
+
+  /// Emits the buffered run; call once after the last add().
+  void flush() {
+    if (open_) fn_(cur_.lin, curOwner_, cur_.off, cur_.count, cur_.offStride);
+    open_ = false;
+  }
+
+ private:
+  const LibraryAdapter::RunFn& fn_;
+  LinRun cur_;
+  int curOwner_ = -1;
+  bool open_ = false;
+};
+
+}  // namespace mc::core

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/adapters/run_emitter.h"
 #include "util/hash.h"
 
 namespace mc::core {
@@ -56,6 +57,44 @@ void TulipAdapter::enumerateRange(
     base += n;
     if (base >= linHi) break;
   }
+}
+
+void TulipAdapter::enumerateRangeRuns(const DistObject& obj,
+                                      const SetOfRegions& set, Index linLo,
+                                      Index linHi, const RunFn& fn) const {
+  const auto& desc = obj.as<tulip::TulipDesc>();
+  RunEmitter emit(fn);
+  Index base = 0;
+  for (const Region& r : set.regions()) {
+    const ElementRange& e = r.asRange();
+    const Index n = e.numElements();
+    const Index lo = std::max(linLo, base);
+    const Index hi = std::min(linHi, base + n);
+    Index lin = lo;
+    while (lin < hi) {
+      const Index g = e.at(lin - base);
+      const int owner = desc.ownerOf(g);
+      Index take = 1;
+      Index offStride = 0;
+      if (desc.placement == tulip::Placement::kBlock) {
+        const Index block = (desc.size + desc.nprocs - 1) / desc.nprocs;
+        const Index blkHi = std::min(desc.size, block * (g / block + 1)) - 1;
+        take = std::min(hi - lin, (blkHi - g) / e.stride + 1);
+        offStride = e.stride;  // local index is g - block*owner
+      } else if (e.stride % desc.nprocs == 0) {
+        // CYCLIC: owner fixed across the whole range when the range stride
+        // is a multiple of the processor count; local index g/P advances by
+        // stride/P.
+        take = hi - lin;
+        offStride = e.stride / desc.nprocs;
+      }
+      emit.add(lin, owner, desc.localOffsetOf(g), take, offStride);
+      lin += take;
+    }
+    base += n;
+    if (base >= linHi) break;
+  }
+  emit.flush();
 }
 
 std::uint64_t TulipAdapter::localFingerprint(const DistObject& obj) const {

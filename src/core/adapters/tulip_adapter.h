@@ -27,6 +27,10 @@ class TulipAdapter final : public LibraryAdapter {
                       const std::function<void(layout::Index, int,
                                                layout::Index)>& fn)
       const override;
+  /// O(runs): one callback per ownership block of each element range.
+  void enumerateRangeRuns(const DistObject& obj, const SetOfRegions& set,
+                          layout::Index linLo, layout::Index linHi,
+                          const RunFn& fn) const override;
   std::uint64_t localFingerprint(const DistObject& obj) const override;
   std::vector<std::byte> serializeDesc(const DistObject& obj,
                                        transport::Comm& comm) const override;

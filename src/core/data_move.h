@@ -38,12 +38,12 @@ void dataMoveSend(transport::Comm& comm, const McSchedule& sched,
              "dataMoveSend needs the sending half of an inter-program "
              "schedule");
   const int tag = comm.nextInterTag(sched.remoteProgram);
-  MC_CHECK(sched.plan.localPairs.empty());
+  MC_CHECK(sched.plan.localElementCount() == 0);
   for (const sched::OffsetPlan& plan : sched.plan.sends) {
     std::vector<T> buf;
     comm.compute([&] {
       if (!plan.runs.empty()) {
-        buf.resize(plan.offsets.size());
+        buf.resize(static_cast<size_t>(plan.elementCount()));
         sched::packRuns(src, std::span<const sched::OffsetRun>(plan.runs),
                         buf.data());
         return;
@@ -65,14 +65,15 @@ void dataMoveRecv(transport::Comm& comm, const McSchedule& sched,
              "dataMoveRecv needs the receiving half of an inter-program "
              "schedule");
   const int tag = comm.nextInterTag(sched.remoteProgram);
-  MC_CHECK(sched.plan.localPairs.empty());
+  MC_CHECK(sched.plan.localElementCount() == 0);
   for (const sched::OffsetPlan& plan : sched.plan.recvs) {
     const std::vector<T> buf =
         comm.recvFrom<T>(sched.remoteProgram, plan.peer, tag);
-    MC_REQUIRE(buf.size() == plan.offsets.size(),
+    MC_REQUIRE(buf.size() == static_cast<size_t>(plan.elementCount()),
                "schedule mismatch: remote rank %d sent %zu elements, "
-               "expected %zu",
-               plan.peer, buf.size(), plan.offsets.size());
+               "expected %lld",
+               plan.peer, buf.size(),
+               static_cast<long long>(plan.elementCount()));
     comm.compute([&] {
       if (!plan.runs.empty()) {
         sched::unpackRuns(std::span<const sched::OffsetRun>(plan.runs),

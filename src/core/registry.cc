@@ -38,6 +38,65 @@ void LibraryAdapter::enumerateRange(
   });
 }
 
+std::vector<LinRun> LibraryAdapter::enumerateOwnedRuns(
+    const DistObject& obj, const SetOfRegions& set,
+    transport::Comm& comm) const {
+  std::vector<LinRun> out;
+  if (supportsLocalEnumeration(obj)) {
+    // Locally enumerable descriptors need no communication at all: filter
+    // the run stream down to this processor's runs.
+    const int me = comm.rank();
+    enumerateRangeRuns(obj, set, 0, set.numElements(),
+                       [&](layout::Index lin, int owner, layout::Index off,
+                           layout::Index count, layout::Index offStride) {
+                         if (owner != me) return;
+                         appendLinRun(out, LinRun{lin, off, count, offStride});
+                       });
+    return out;
+  }
+  // Dereference requires communication (Chaos with a distributed table):
+  // run the collective element enumeration and coalesce its sorted output.
+  for (const LinLoc& ll : enumerateOwned(obj, set, comm)) {
+    appendLinElement(out, ll.lin, ll.offset);
+  }
+  return out;
+}
+
+void LibraryAdapter::enumerateRangeRuns(const DistObject& obj,
+                                        const SetOfRegions& set,
+                                        layout::Index linLo,
+                                        layout::Index linHi,
+                                        const RunFn& fn) const {
+  // Element-wise fallback: coalesce consecutive same-owner callbacks into
+  // maximal runs.  O(linHi - linLo) time but O(1) extra memory; adapters
+  // with analytic distributions override this with O(runs) enumeration.
+  LinRun cur;
+  int curOwner = -1;
+  bool open = false;
+  enumerateRange(obj, set, linLo, linHi,
+                 [&](layout::Index lin, int owner, layout::Index off) {
+                   if (open && owner == curOwner &&
+                       cur.lin + cur.count == lin) {
+                     if (cur.count == 1) {
+                       cur.offStride = off - cur.off;
+                       ++cur.count;
+                       return;
+                     }
+                     if (off == cur.off + cur.count * cur.offStride) {
+                       ++cur.count;
+                       return;
+                     }
+                   }
+                   if (open) {
+                     fn(cur.lin, curOwner, cur.off, cur.count, cur.offStride);
+                   }
+                   cur = LinRun{lin, off, 1, 0};
+                   curOwner = owner;
+                   open = true;
+                 });
+  if (open) fn(cur.lin, curOwner, cur.off, cur.count, cur.offStride);
+}
+
 Registry& Registry::instance() {
   static Registry registry;
   return registry;

@@ -1,12 +1,19 @@
 #include "core/schedule_builder.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 
 namespace mc::core {
 
 using layout::Index;
+using sched::LocalRun;
+using sched::OffsetRun;
 
 namespace {
+
+std::atomic<bool> g_buildElementwise{false};
+thread_local BuildStats g_buildStats;
 
 // ---------------------------------------------------------------------------
 // Wire formats.
@@ -18,16 +25,12 @@ namespace {
 // number of elements — matching the compact descriptors the original
 // Meta-Chaos shipped for regular sections.  Fully irregular data degrades
 // to count-1 runs, whose cost profile the paper's Chaos experiments show.
+//
+// Ownership runs ship as core::LinRun (the adapter inquiry type — the
+// sender is implied by the lane); both builder pipelines produce identical
+// streams, since the run-wise append helpers replicate the element-wise
+// coalescing greedy exactly.
 // ---------------------------------------------------------------------------
-
-/// Ownership of a run of linearization positions [lin, lin+count), owned by
-/// the sending processor, at offsets off + k*offStride.
-struct InfoRun {
-  Index lin;
-  Index off;
-  Index count;
-  Index offStride;
-};
 
 /// A source processor's marching order: `count` elements packed from
 /// srcOff + k*srcStride going to dstOwner at dstOff + k*dstStride (the
@@ -77,34 +80,250 @@ std::vector<std::vector<T>> interAlltoall(
   return out;
 }
 
-/// Routes a processor's owned elements into per-chunk InfoRun streams
-/// (runs never cross chunk boundaries).
-std::vector<std::vector<InfoRun>> routeToChunks(
-    const std::vector<LinLoc>& owned, Index chunk, int nChunks) {
-  std::vector<std::vector<InfoRun>> to(static_cast<size_t>(nChunks));
-  for (const LinLoc& ll : owned) {
-    auto& lane = to[static_cast<size_t>(ll.lin / chunk)];
+// ---------------------------------------------------------------------------
+// Shared run-wise emission helpers.
+//
+// Each replicates the corresponding element-wise greedy exactly (see
+// sched::appendOffsetRun for the argument): lanes come out bit-identical
+// no matter how the incoming element sequence is cut into runs.
+// ---------------------------------------------------------------------------
+
+/// Extends `lane` with a whole marching-order run, byte-identical to
+/// emitting its elements one at a time through the element-wise emitSend.
+void appendSendRun(std::vector<SendRun>& lane, SendRun run) {
+  while (run.count > 0) {
     if (!lane.empty()) {
-      InfoRun& run = lane.back();
-      if (run.lin + run.count == ll.lin &&
-          (run.lin / chunk) == (ll.lin / chunk)) {
-        if (run.count == 1) {
-          run.offStride = ll.offset - run.off;
-          ++run.count;
+      SendRun& tail = lane.back();
+      if (tail.dstOwner == run.dstOwner) {
+        if (tail.count == 1) {
+          tail.srcStride = run.srcOff - tail.srcOff;
+          tail.dstStride = run.dstOff - tail.dstOff;
+          ++tail.count;
+          run.srcOff += run.srcStride;
+          run.dstOff += run.dstStride;
+          --run.count;
           continue;
         }
-        if (ll.offset == run.off + run.count * run.offStride) {
-          ++run.count;
+        if (run.srcOff == tail.srcOff + tail.count * tail.srcStride &&
+            run.dstOff == tail.dstOff + tail.count * tail.dstStride) {
+          if (run.count == 1 || (run.srcStride == tail.srcStride &&
+                                 run.dstStride == tail.dstStride)) {
+            tail.count += run.count;
+            return;
+          }
+          ++tail.count;
+          run.srcOff += run.srcStride;
+          run.dstOff += run.dstStride;
+          --run.count;
           continue;
         }
       }
     }
-    lane.push_back(InfoRun{ll.lin, ll.offset, 1, 0});
+    if (run.count == 1) {
+      run.srcStride = 0;
+      run.dstStride = 0;
+    }
+    lane.push_back(run);
+    return;
+  }
+}
+
+/// Run-wise form of the element-wise emitRecv greedy.
+void appendRecvRun(std::vector<RecvRun>& lane, RecvRun run) {
+  while (run.count > 0) {
+    if (!lane.empty()) {
+      RecvRun& tail = lane.back();
+      if (tail.srcOwner == run.srcOwner) {
+        if (tail.count == 1) {
+          tail.dstStride = run.dstOff - tail.dstOff;
+          ++tail.count;
+          run.dstOff += run.dstStride;
+          --run.count;
+          continue;
+        }
+        if (run.dstOff == tail.dstOff + tail.count * tail.dstStride) {
+          if (run.count == 1 || run.dstStride == tail.dstStride) {
+            tail.count += run.count;
+            return;
+          }
+          ++tail.count;
+          run.dstOff += run.dstStride;
+          --run.count;
+          continue;
+        }
+      }
+    }
+    if (run.count == 1) run.dstStride = 0;
+    lane.push_back(run);
+    return;
+  }
+}
+
+/// Routes a processor's owned runs into per-chunk LinRun streams, splitting
+/// runs at chunk boundaries (runs never cross chunks on the wire).
+std::vector<std::vector<LinRun>> routeRunsToChunks(
+    const std::vector<LinRun>& owned, Index chunk, int nChunks) {
+  std::vector<std::vector<LinRun>> to(static_cast<size_t>(nChunks));
+  for (LinRun run : owned) {
+    while (run.count > 0) {
+      const Index c = run.lin / chunk;
+      const Index take = std::min(run.count, (c + 1) * chunk - run.lin);
+      appendLinRun(to[static_cast<size_t>(c)],
+                   LinRun{run.lin, run.off, take, run.offStride});
+      run.lin += take;
+      run.off += take * run.offStride;
+      run.count -= take;
+    }
   }
   return to;
 }
 
-/// One chunk's joined ownership table.
+/// Element-wise variant of routeRunsToChunks, used by the reference
+/// pipeline; produces identical streams for identical element sequences.
+std::vector<std::vector<LinRun>> routeToChunks(const std::vector<LinLoc>& owned,
+                                               Index chunk, int nChunks) {
+  std::vector<std::vector<LinRun>> to(static_cast<size_t>(nChunks));
+  for (const LinLoc& ll : owned) {
+    appendLinElement(to[static_cast<size_t>(ll.lin / chunk)], ll.lin,
+                     ll.offset);
+  }
+  return to;
+}
+
+// ---------------------------------------------------------------------------
+// Ownership tables.
+//
+// ChunkTable is the run-native form: a sorted interval table of
+// (positions, owner, offsets) runs covering the chunk exactly, filled
+// straight from LinRun streams without per-element expansion — O(runs)
+// memory.  ChunkInfo is the element-wise reference form kept behind
+// testing::buildElementwiseForTest — O(elements) memory.
+// ---------------------------------------------------------------------------
+
+/// One ownership run of a chunk: positions [lin, lin+count) owned by
+/// `owner` at offsets off + k*offStride.
+struct OwnedRun {
+  Index lin;
+  Index off;
+  Index count;
+  Index offStride;
+  int owner;
+};
+
+struct ChunkTable {
+  Index lo = 0;
+  Index size = 0;
+  std::vector<OwnedRun> runs;  // sorted by lin, covering [lo, lo+size)
+
+  ChunkTable(Index lo_, Index size_) : lo(lo_), size(size_) {}
+
+  /// Streaming fill for locally enumerated chunks: runs must arrive in
+  /// linearization order (the enumerateRangeRuns contract).
+  void append(Index lin, int owner, Index off, Index count, Index offStride,
+              const char* side) {
+    const Index expected = runs.empty() ? lo : runs.back().lin + runs.back().count;
+    MC_REQUIRE(lin >= expected, "%s linearization visits position %lld twice",
+               side, static_cast<long long>(lin));
+    MC_REQUIRE(lin >= lo && lin + count <= lo + size,
+               "%s element at position %lld routed to the wrong chunk", side,
+               static_cast<long long>(lin));
+    runs.push_back(OwnedRun{lin, off, count, offStride, owner});
+  }
+
+  /// Fill from per-sender wire streams.  Every sender's stream is already
+  /// sorted by position, so a k-way merge over per-sender cursors rebuilds
+  /// the interval table without a global sort.  Exhausted streams are
+  /// dropped from the cursor set, so the scan stays tight.
+  void fillFromRows(const std::vector<std::vector<LinRun>>& rows,
+                    const char* side) {
+    struct Cursor {
+      const LinRun* p;
+      const LinRun* end;
+      Index lin;  // == p->lin, cached so the min-scan stays in this array
+      int sender;
+    };
+    std::vector<Cursor> cur;
+    size_t total = 0;
+    cur.reserve(rows.size());
+    for (size_t sender = 0; sender < rows.size(); ++sender) {
+      total += rows[sender].size();
+      if (!rows[sender].empty()) {
+        cur.push_back(Cursor{rows[sender].data(),
+                             rows[sender].data() + rows[sender].size(),
+                             rows[sender].front().lin,
+                             static_cast<int>(sender)});
+      }
+    }
+    runs.reserve(total);
+    Index pos = lo;
+    while (!cur.empty()) {
+      size_t best = 0;
+      for (size_t k = 1; k < cur.size(); ++k) {
+        if (cur[k].lin < cur[best].lin) best = k;
+      }
+      const LinRun& run = *cur[best].p;
+      MC_REQUIRE(run.lin >= lo && run.lin + run.count <= lo + size,
+                 "%s element at position %lld routed to the wrong chunk",
+                 side, static_cast<long long>(run.lin));
+      MC_REQUIRE(run.lin >= pos, "%s linearization visits position %lld twice",
+                 side, static_cast<long long>(run.lin));
+      pos = run.lin + run.count;
+      runs.push_back(OwnedRun{run.lin, run.off, run.count, run.offStride,
+                              cur[best].sender});
+      if (++cur[best].p == cur[best].end) {
+        cur[best] = cur.back();
+        cur.pop_back();
+      } else {
+        cur[best].lin = cur[best].p->lin;
+      }
+    }
+  }
+
+  /// Verifies the table covers the chunk with no gaps.
+  void checkComplete(const char* side) const {
+    Index pos = lo;
+    for (const OwnedRun& run : runs) {
+      MC_REQUIRE(run.lin == pos, "%s linearization skips position %lld", side,
+                 static_cast<long long>(pos));
+      pos = run.lin + run.count;
+    }
+    MC_REQUIRE(pos == lo + size, "%s linearization skips position %lld", side,
+               static_cast<long long>(pos));
+  }
+
+  std::size_t tableBytes() const { return runs.size() * sizeof(OwnedRun); }
+};
+
+/// Two-pointer interval join over two ownership tables covering the same
+/// position range: fn(srcRun, dstRun, pos, count) is called once per
+/// maximal segment on which both owners (and both offset progressions) are
+/// fixed — runs are split exactly at each other's boundaries, never
+/// expanded.  O(|src runs| + |dst runs|).
+template <typename F>
+void joinTables(const ChunkTable& src, const ChunkTable& dst, F&& fn) {
+  size_t i = 0;
+  size_t j = 0;
+  Index pos = src.lo;
+  const Index end = src.lo + src.size;
+  while (pos < end) {
+    const OwnedRun& s = src.runs[i];
+    const OwnedRun& d = dst.runs[j];
+    const Index sEnd = s.lin + s.count;
+    const Index dEnd = d.lin + d.count;
+    const Index stop = std::min(sEnd, dEnd);
+    fn(s, d, pos, stop - pos);
+    pos = stop;
+    if (stop == sEnd) ++i;
+    if (stop == dEnd) ++j;
+  }
+}
+
+/// Offset of position `pos` within run `r`.
+Index offAt(const OwnedRun& r, Index pos) {
+  return r.off + (pos - r.lin) * r.offStride;
+}
+
+/// One chunk's joined ownership table — the element-wise reference form.
 struct ChunkInfo {
   Index lo = 0;
   Index size = 0;
@@ -129,10 +348,10 @@ struct ChunkInfo {
     offset[k] = off;
   }
 
-  void fillFromRuns(const std::vector<std::vector<InfoRun>>& rows,
+  void fillFromRuns(const std::vector<std::vector<LinRun>>& rows,
                     const char* side) {
     for (size_t sender = 0; sender < rows.size(); ++sender) {
-      for (const InfoRun& run : rows[sender]) {
+      for (const LinRun& run : rows[sender]) {
         for (Index k = 0; k < run.count; ++k) {
           put(run.lin + k, static_cast<int>(sender),
               run.off + k * run.offStride, side);
@@ -148,9 +367,13 @@ struct ChunkInfo {
                  static_cast<long long>(lo + k));
     }
   }
+
+  std::size_t tableBytes() const {
+    return static_cast<size_t>(size) * (sizeof(int) + sizeof(Index));
+  }
 };
 
-/// Extends or starts a SendRun in `lane`.
+/// Extends or starts a SendRun in `lane` (element-wise reference emitter).
 void emitSend(std::vector<SendRun>& lane, Index srcOff, Index dstOff,
               Index dstOwner) {
   if (!lane.empty()) {
@@ -172,7 +395,7 @@ void emitSend(std::vector<SendRun>& lane, Index srcOff, Index dstOff,
   lane.push_back(SendRun{srcOff, dstOff, 1, 0, 0, dstOwner});
 }
 
-/// Extends or starts a RecvRun in `lane`.
+/// Extends or starts a RecvRun in `lane` (element-wise reference emitter).
 void emitRecv(std::vector<RecvRun>& lane, Index dstOff, Index srcOwner) {
   if (!lane.empty()) {
     RecvRun& run = lane.back();
@@ -191,11 +414,62 @@ void emitRecv(std::vector<RecvRun>& lane, Index dstOff, Index srcOwner) {
   lane.push_back(RecvRun{dstOff, 1, 0, srcOwner});
 }
 
-/// Expands received SendRun rows into the schedule's send plans (and local
-/// pairs when allowed); rows arrive chunk-ordered, so per-peer offsets stay
-/// in linearization order.
-void assembleSends(const std::vector<std::vector<SendRun>>& rows, int me,
-                   bool allowLocal, sched::Schedule& plan) {
+// ---------------------------------------------------------------------------
+// Plan assembly.
+//
+// The run-native assemblers turn SendRun/RecvRun rows into runs-first
+// OffsetPlans without ever expanding an offset list; the element-wise
+// reference assemblers expand into per-element offsets (the historical
+// form).  Rows arrive chunk-ordered, so per-peer lanes stay in
+// linearization order either way.
+// ---------------------------------------------------------------------------
+
+void assembleSendsRuns(const std::vector<std::vector<SendRun>>& rows, int me,
+                       bool allowLocal, sched::Schedule& plan) {
+  std::vector<std::vector<OffsetRun>> byPeer;
+  for (const auto& row : rows) {
+    for (const SendRun& run : row) {
+      if (allowLocal && run.dstOwner == me) {
+        sched::appendLocalRun(plan.localRuns,
+                              LocalRun{run.srcOff, run.dstOff, run.count,
+                                       run.srcStride, run.dstStride});
+        continue;
+      }
+      if (byPeer.size() <= static_cast<size_t>(run.dstOwner)) {
+        byPeer.resize(static_cast<size_t>(run.dstOwner) + 1);
+      }
+      sched::appendOffsetRun(byPeer[static_cast<size_t>(run.dstOwner)],
+                             OffsetRun{run.srcOff, run.count, run.srcStride});
+    }
+  }
+  for (size_t p = 0; p < byPeer.size(); ++p) {
+    if (byPeer[p].empty()) continue;
+    plan.sends.push_back(
+        sched::OffsetPlan{static_cast<int>(p), {}, std::move(byPeer[p])});
+  }
+}
+
+void assembleRecvsRuns(const std::vector<std::vector<RecvRun>>& rows,
+                       sched::Schedule& plan) {
+  std::vector<std::vector<OffsetRun>> byPeer;
+  for (const auto& row : rows) {
+    for (const RecvRun& run : row) {
+      if (byPeer.size() <= static_cast<size_t>(run.srcOwner)) {
+        byPeer.resize(static_cast<size_t>(run.srcOwner) + 1);
+      }
+      sched::appendOffsetRun(byPeer[static_cast<size_t>(run.srcOwner)],
+                             OffsetRun{run.dstOff, run.count, run.dstStride});
+    }
+  }
+  for (size_t p = 0; p < byPeer.size(); ++p) {
+    if (byPeer[p].empty()) continue;
+    plan.recvs.push_back(
+        sched::OffsetPlan{static_cast<int>(p), {}, std::move(byPeer[p])});
+  }
+}
+
+void assembleSendsElementwise(const std::vector<std::vector<SendRun>>& rows,
+                              int me, bool allowLocal, sched::Schedule& plan) {
   std::vector<std::vector<Index>> byPeer;
   for (const auto& row : rows) {
     for (const SendRun& run : row) {
@@ -218,12 +492,12 @@ void assembleSends(const std::vector<std::vector<SendRun>>& rows, int me,
   for (size_t p = 0; p < byPeer.size(); ++p) {
     if (byPeer[p].empty()) continue;
     plan.sends.push_back(
-        sched::OffsetPlan{static_cast<int>(p), std::move(byPeer[p])});
+        sched::OffsetPlan{static_cast<int>(p), std::move(byPeer[p]), {}});
   }
 }
 
-void assembleRecvs(const std::vector<std::vector<RecvRun>>& rows,
-                   sched::Schedule& plan) {
+void assembleRecvsElementwise(const std::vector<std::vector<RecvRun>>& rows,
+                              sched::Schedule& plan) {
   std::vector<std::vector<Index>> byPeer;
   for (const auto& row : rows) {
     for (const RecvRun& run : row) {
@@ -239,17 +513,53 @@ void assembleRecvs(const std::vector<std::vector<RecvRun>>& rows,
   for (size_t p = 0; p < byPeer.size(); ++p) {
     if (byPeer[p].empty()) continue;
     plan.recvs.push_back(
-        sched::OffsetPlan{static_cast<int>(p), std::move(byPeer[p])});
+        sched::OffsetPlan{static_cast<int>(p), std::move(byPeer[p]), {}});
   }
 }
 
-/// Obtains one side's ownership info for this processor's chunk.  When the
-/// descriptor is locally enumerable the chunk owner computes it directly
-/// (no communication); otherwise the side performs the collective
-/// owned-elements enumeration and routes the results to chunk owners
+// ---------------------------------------------------------------------------
+// Chunk ownership acquisition.
+// ---------------------------------------------------------------------------
+
+/// Obtains one side's ownership info for this processor's chunk as a run
+/// table.  When the descriptor is locally enumerable the chunk owner
+/// computes it directly (no communication); otherwise the side performs the
+/// collective owned-runs enumeration and routes the results to chunk owners
 /// (Chaos with a distributed table — the expensive path the paper
 /// measures).  Must be called by every processor of the program in either
 /// case.
+ChunkTable chunkTableIntra(transport::Comm& comm, const LibraryAdapter& lib,
+                           const DistObject& obj, const SetOfRegions& set,
+                           Index n, Index chunk, const char* side) {
+  const int me = comm.rank();
+  const Index lo = chunk * me;
+  const Index size = std::max<Index>(0, std::min(n, lo + chunk) - lo);
+  ChunkTable table(lo, size);
+  if (lib.supportsLocalEnumeration(obj)) {
+    comm.compute([&] {
+      lib.enumerateRangeRuns(obj, set, lo, lo + size,
+                             [&](Index lin, int owner, Index off, Index count,
+                                 Index offStride) {
+                               table.append(lin, owner, off, count, offStride,
+                                            side);
+                             });
+    });
+  } else {
+    // Element routing coalesces into the identical LinRun wire stream that
+    // enumerateOwnedRuns + routeRunsToChunks would produce (the same greedy
+    // rule), in one pass instead of two — on fully irregular data the
+    // coalesce passes are the dominant build cost.
+    const std::vector<LinLoc> owned = lib.enumerateOwned(obj, set, comm);
+    auto rows = comm.alltoall(comm.computeValue(
+        [&] { return routeToChunks(owned, chunk, comm.size()); }));
+    comm.compute([&] { table.fillFromRows(rows, side); });
+  }
+  comm.compute([&] { table.checkComplete(side); });
+  g_buildStats.ownershipTableBytes += table.tableBytes();
+  return table;
+}
+
+/// Element-wise reference form of chunkTableIntra.
 ChunkInfo chunkInfoIntra(transport::Comm& comm, const LibraryAdapter& lib,
                          const DistObject& obj, const SetOfRegions& set,
                          Index n, Index chunk, const char* side) {
@@ -271,6 +581,7 @@ ChunkInfo chunkInfoIntra(transport::Comm& comm, const LibraryAdapter& lib,
     comm.compute([&] { info.fillFromRuns(rows, side); });
   }
   comm.compute([&] { info.checkComplete(side); });
+  g_buildStats.ownershipTableBytes += info.tableBytes();
   return info;
 }
 
@@ -292,12 +603,67 @@ McSchedule buildIntraCooperation(transport::Comm& comm,
   const int me = comm.rank();
   const Index chunk = (n + np - 1) / np;
 
+  const ChunkTable src =
+      chunkTableIntra(comm, srcLib, srcObj, srcSet, n, chunk, "source");
+  const ChunkTable dst =
+      chunkTableIntra(comm, dstLib, dstObj, dstSet, n, chunk, "destination");
+
+  // Join and emit marching orders for the processors that own the data —
+  // whole segments at a time, split only where a source or destination run
+  // boundary falls.
+  std::vector<std::vector<SendRun>> sendTo(static_cast<size_t>(np));
+  std::vector<std::vector<RecvRun>> recvTo(static_cast<size_t>(np));
+  comm.compute([&] {
+    joinTables(src, dst, [&](const OwnedRun& s, const OwnedRun& d, Index pos,
+                             Index count) {
+      const Index srcOff = offAt(s, pos);
+      const Index dstOff = offAt(d, pos);
+      if (count == 1) {
+        // Degenerate segment (fully irregular data): the single-element
+        // greedy appends produce the same lanes for less bookkeeping.
+        emitSend(sendTo[static_cast<size_t>(s.owner)], srcOff, dstOff,
+                 d.owner);
+        if (d.owner != s.owner) {
+          emitRecv(recvTo[static_cast<size_t>(d.owner)], dstOff, s.owner);
+        }
+        return;
+      }
+      appendSendRun(sendTo[static_cast<size_t>(s.owner)],
+                    SendRun{srcOff, dstOff, count, s.offStride, d.offStride,
+                            static_cast<Index>(d.owner)});
+      if (d.owner != s.owner) {
+        appendRecvRun(
+            recvTo[static_cast<size_t>(d.owner)],
+            RecvRun{dstOff, count, d.offStride, static_cast<Index>(s.owner)});
+      }
+    });
+  });
+  auto mySends = comm.alltoall(sendTo);
+  auto myRecvs = comm.alltoall(recvTo);
+  comm.compute([&] {
+    assembleSendsRuns(mySends, me, /*allowLocal=*/true, out.plan);
+    assembleRecvsRuns(myRecvs, out.plan);
+  });
+  return out;
+}
+
+McSchedule buildIntraCooperationElementwise(
+    transport::Comm& comm, const LibraryAdapter& srcLib,
+    const DistObject& srcObj, const SetOfRegions& srcSet,
+    const LibraryAdapter& dstLib, const DistObject& dstObj,
+    const SetOfRegions& dstSet, Index n) {
+  McSchedule out;
+  out.numElements = n;
+  out.plan.bufferLocalCopies = false;
+  const int np = comm.size();
+  const int me = comm.rank();
+  const Index chunk = (n + np - 1) / np;
+
   const ChunkInfo src =
       chunkInfoIntra(comm, srcLib, srcObj, srcSet, n, chunk, "source");
   const ChunkInfo dst =
       chunkInfoIntra(comm, dstLib, dstObj, dstSet, n, chunk, "destination");
 
-  // Join and emit marching orders for the processors that own the data.
   std::vector<std::vector<SendRun>> sendTo(static_cast<size_t>(np));
   std::vector<std::vector<RecvRun>> recvTo(static_cast<size_t>(np));
   comm.compute([&] {
@@ -315,8 +681,8 @@ McSchedule buildIntraCooperation(transport::Comm& comm,
   auto mySends = comm.alltoall(sendTo);
   auto myRecvs = comm.alltoall(recvTo);
   comm.compute([&] {
-    assembleSends(mySends, me, /*allowLocal=*/true, out.plan);
-    assembleRecvs(myRecvs, out.plan);
+    assembleSendsElementwise(mySends, me, /*allowLocal=*/true, out.plan);
+    assembleRecvsElementwise(myRecvs, out.plan);
   });
   return out;
 }
@@ -344,11 +710,85 @@ McSchedule buildIntraDuplication(transport::Comm& comm,
   const int me = comm.rank();
   comm.compute([&] {
     // Two full ownership passes per processor — the 2x dereference cost the
-    // paper attributes to duplication — and no communication at all.
+    // paper attributes to duplication — with no communication, but as run
+    // streams: the table stays O(runs), never O(elements).
+    ChunkTable src(0, n);
+    ChunkTable dst(0, n);
+    srcLib.enumerateRangeRuns(
+        srcObj, srcSet, 0, n,
+        [&](Index lin, int owner, Index off, Index count, Index offStride) {
+          src.append(lin, owner, off, count, offStride, "source");
+        });
+    dstLib.enumerateRangeRuns(
+        dstObj, dstSet, 0, n,
+        [&](Index lin, int owner, Index off, Index count, Index offStride) {
+          dst.append(lin, owner, off, count, offStride, "destination");
+        });
+    src.checkComplete("source");
+    dst.checkComplete("destination");
+    g_buildStats.ownershipTableBytes += src.tableBytes() + dst.tableBytes();
+    std::vector<std::vector<OffsetRun>> sendBy;
+    std::vector<std::vector<OffsetRun>> recvBy;
+    joinTables(src, dst, [&](const OwnedRun& s, const OwnedRun& d, Index pos,
+                             Index count) {
+      if (s.owner == me && d.owner == me) {
+        sched::appendLocalRun(out.plan.localRuns,
+                              LocalRun{offAt(s, pos), offAt(d, pos), count,
+                                       s.offStride, d.offStride});
+      } else if (s.owner == me) {
+        if (sendBy.size() <= static_cast<size_t>(d.owner)) {
+          sendBy.resize(static_cast<size_t>(d.owner) + 1);
+        }
+        sched::appendOffsetRun(sendBy[static_cast<size_t>(d.owner)],
+                               OffsetRun{offAt(s, pos), count, s.offStride});
+      } else if (d.owner == me) {
+        if (recvBy.size() <= static_cast<size_t>(s.owner)) {
+          recvBy.resize(static_cast<size_t>(s.owner) + 1);
+        }
+        sched::appendOffsetRun(recvBy[static_cast<size_t>(s.owner)],
+                               OffsetRun{offAt(d, pos), count, d.offStride});
+      }
+    });
+    for (size_t p = 0; p < sendBy.size(); ++p) {
+      if (!sendBy[p].empty()) {
+        out.plan.sends.push_back(
+            sched::OffsetPlan{static_cast<int>(p), {}, std::move(sendBy[p])});
+      }
+    }
+    for (size_t p = 0; p < recvBy.size(); ++p) {
+      if (!recvBy[p].empty()) {
+        out.plan.recvs.push_back(
+            sched::OffsetPlan{static_cast<int>(p), {}, std::move(recvBy[p])});
+      }
+    }
+  });
+  return out;
+}
+
+McSchedule buildIntraDuplicationElementwise(
+    transport::Comm& comm, const LibraryAdapter& srcLib,
+    const DistObject& srcObj, const SetOfRegions& srcSet,
+    const LibraryAdapter& dstLib, const DistObject& dstObj,
+    const SetOfRegions& dstSet, Index n) {
+  MC_REQUIRE(srcLib.supportsLocalEnumeration(srcObj) &&
+                 dstLib.supportsLocalEnumeration(dstObj),
+             "the duplication method requires locally enumerable "
+             "descriptors on both sides; use cooperation instead");
+  McSchedule out;
+  out.numElements = n;
+  out.plan.bufferLocalCopies = false;
+  comm.advance(2.0 *
+               (srcLib.modeledElementDereferenceCost(srcObj) +
+                dstLib.modeledElementDereferenceCost(dstObj)) *
+               static_cast<double>(n) / comm.size());
+  const int me = comm.rank();
+  comm.compute([&] {
     std::vector<int> srcOwner(static_cast<size_t>(n));
     std::vector<Index> srcOff(static_cast<size_t>(n));
     std::vector<int> dstOwner(static_cast<size_t>(n));
     std::vector<Index> dstOff(static_cast<size_t>(n));
+    g_buildStats.ownershipTableBytes +=
+        2 * static_cast<size_t>(n) * (sizeof(int) + sizeof(Index));
     srcLib.enumerateAll(srcObj, srcSet, [&](Index lin, int owner, Index off) {
       srcOwner[static_cast<size_t>(lin)] = owner;
       srcOff[static_cast<size_t>(lin)] = off;
@@ -380,13 +820,13 @@ McSchedule buildIntraDuplication(transport::Comm& comm,
     for (size_t p = 0; p < sendBy.size(); ++p) {
       if (!sendBy[p].empty()) {
         out.plan.sends.push_back(
-            sched::OffsetPlan{static_cast<int>(p), std::move(sendBy[p])});
+            sched::OffsetPlan{static_cast<int>(p), std::move(sendBy[p]), {}});
       }
     }
     for (size_t p = 0; p < recvBy.size(); ++p) {
       if (!recvBy[p].empty()) {
         out.plan.recvs.push_back(
-            sched::OffsetPlan{static_cast<int>(p), std::move(recvBy[p])});
+            sched::OffsetPlan{static_cast<int>(p), std::move(recvBy[p]), {}});
       }
     }
   });
@@ -478,7 +918,7 @@ McSchedule buildInterCooperationSend(transport::Comm& comm,
                                      const LibraryAdapter& srcLib,
                                      const DistObject& srcObj,
                                      const SetOfRegions& srcSet,
-                                     int remoteProgram) {
+                                     int remoteProgram, bool elementwise) {
   McSchedule out;
   out.remoteProgram = remoteProgram;
   out.isSender = true;
@@ -492,16 +932,30 @@ McSchedule buildInterCooperationSend(transport::Comm& comm,
   // happens — compactly, thanks to the run encoding).
   const int pd = comm.programInfo(remoteProgram).nprocs;
   const Index chunk = (n + pd - 1) / pd;
-  const std::vector<LinLoc> srcOwned = srcLib.enumerateOwned(srcObj, srcSet, comm);
-  auto srcInfoTo =
-      comm.computeValue([&] { return routeToChunks(srcOwned, chunk, pd); });
+  std::vector<std::vector<LinRun>> srcInfoTo;
+  if (elementwise) {
+    const std::vector<LinLoc> srcOwned =
+        srcLib.enumerateOwned(srcObj, srcSet, comm);
+    srcInfoTo =
+        comm.computeValue([&] { return routeToChunks(srcOwned, chunk, pd); });
+  } else {
+    const std::vector<LinRun> srcOwned =
+        srcLib.enumerateOwnedRuns(srcObj, srcSet, comm);
+    srcInfoTo = comm.computeValue(
+        [&] { return routeRunsToChunks(srcOwned, chunk, pd); });
+  }
   (void)interAlltoall(comm, remoteProgram, srcInfoTo);
 
   // Receive my marching orders back.
   const std::vector<std::vector<SendRun>> empty(static_cast<size_t>(pd));
   auto mySends = interAlltoall(comm, remoteProgram, empty);
   comm.compute([&] {
-    assembleSends(mySends, comm.rank(), /*allowLocal=*/false, out.plan);
+    if (elementwise) {
+      assembleSendsElementwise(mySends, comm.rank(), /*allowLocal=*/false,
+                               out.plan);
+    } else {
+      assembleSendsRuns(mySends, comm.rank(), /*allowLocal=*/false, out.plan);
+    }
   });
   return out;
 }
@@ -525,7 +979,63 @@ McSchedule buildInterCooperationRecv(transport::Comm& comm,
   const Index chunk = (n + np - 1) / np;
 
   // Source ownership info arrives from the remote program.
-  const std::vector<std::vector<InfoRun>> emptyInfo(static_cast<size_t>(ps));
+  const std::vector<std::vector<LinRun>> emptyInfo(static_cast<size_t>(ps));
+  auto srcRows = interAlltoall(comm, remoteProgram, emptyInfo);
+  const Index lo = chunk * me;
+  const Index size = std::max<Index>(0, std::min(n, lo + chunk) - lo);
+  ChunkTable src(lo, size);
+  comm.compute([&] {
+    src.fillFromRows(srcRows, "source");
+    src.checkComplete("source");
+  });
+  g_buildStats.ownershipTableBytes += src.tableBytes();
+  // Destination ownership info for my chunk.
+  const ChunkTable dst =
+      chunkTableIntra(comm, dstLib, dstObj, dstSet, n, chunk, "destination");
+
+  // Join; ship send plans to the remote program, recv plans to my own.
+  // Cross-program, so every pairing yields a send and a recv record (the
+  // rank spaces of the two programs are distinct).
+  std::vector<std::vector<SendRun>> sendTo(static_cast<size_t>(ps));
+  std::vector<std::vector<RecvRun>> recvTo(static_cast<size_t>(np));
+  comm.compute([&] {
+    joinTables(src, dst, [&](const OwnedRun& s, const OwnedRun& d, Index pos,
+                             Index count) {
+      const Index srcOff = offAt(s, pos);
+      const Index dstOff = offAt(d, pos);
+      appendSendRun(sendTo[static_cast<size_t>(s.owner)],
+                    SendRun{srcOff, dstOff, count, s.offStride, d.offStride,
+                            static_cast<Index>(d.owner)});
+      appendRecvRun(
+          recvTo[static_cast<size_t>(d.owner)],
+          RecvRun{dstOff, count, d.offStride, static_cast<Index>(s.owner)});
+    });
+  });
+  (void)interAlltoall(comm, remoteProgram, sendTo);
+  auto myRecvs = comm.alltoall(recvTo);
+  comm.compute([&] { assembleRecvsRuns(myRecvs, out.plan); });
+  return out;
+}
+
+McSchedule buildInterCooperationRecvElementwise(transport::Comm& comm,
+                                                const LibraryAdapter& dstLib,
+                                                const DistObject& dstObj,
+                                                const SetOfRegions& dstSet,
+                                                int remoteProgram) {
+  McSchedule out;
+  out.remoteProgram = remoteProgram;
+  out.isSender = false;
+  out.plan.bufferLocalCopies = false;
+  const Index n = dstSet.numElements();
+  out.numElements = n;
+  handshakeCount(comm, remoteProgram, n);
+
+  const int me = comm.rank();
+  const int np = comm.size();
+  const int ps = comm.programInfo(remoteProgram).nprocs;
+  const Index chunk = (n + np - 1) / np;
+
+  const std::vector<std::vector<LinRun>> emptyInfo(static_cast<size_t>(ps));
   auto srcRows = interAlltoall(comm, remoteProgram, emptyInfo);
   const Index lo = chunk * me;
   const Index size = std::max<Index>(0, std::min(n, lo + chunk) - lo);
@@ -534,18 +1044,15 @@ McSchedule buildInterCooperationRecv(transport::Comm& comm,
     src.fillFromRuns(srcRows, "source");
     src.checkComplete("source");
   });
-  // Destination ownership info for my chunk.
+  g_buildStats.ownershipTableBytes += src.tableBytes();
   const ChunkInfo dst =
       chunkInfoIntra(comm, dstLib, dstObj, dstSet, n, chunk, "destination");
 
-  // Join; ship send plans to the remote program, recv plans to my own.
   std::vector<std::vector<SendRun>> sendTo(static_cast<size_t>(ps));
   std::vector<std::vector<RecvRun>> recvTo(static_cast<size_t>(np));
   comm.compute([&] {
     for (Index k = 0; k < size; ++k) {
       const auto kk = static_cast<size_t>(k);
-      // Cross-program: every pairing yields a send and a recv record (the
-      // rank spaces of the two programs are distinct).
       emitSend(sendTo[static_cast<size_t>(src.owner[kk])], src.offset[kk],
                dst.offset[kk], dst.owner[kk]);
       emitRecv(recvTo[static_cast<size_t>(dst.owner[kk])], dst.offset[kk],
@@ -554,15 +1061,15 @@ McSchedule buildInterCooperationRecv(transport::Comm& comm,
   });
   (void)interAlltoall(comm, remoteProgram, sendTo);
   auto myRecvs = comm.alltoall(recvTo);
-  comm.compute([&] { assembleRecvs(myRecvs, out.plan); });
+  comm.compute([&] { assembleRecvsElementwise(myRecvs, out.plan); });
   return out;
 }
 
 McSchedule buildInterDuplication(transport::Comm& comm,
                                  const LibraryAdapter& myLib,
                                  const DistObject& myObj,
-                                 const SetOfRegions& mySet,
-                                 int remoteProgram, bool isSender) {
+                                 const SetOfRegions& mySet, int remoteProgram,
+                                 bool isSender, bool elementwise) {
   MC_REQUIRE(myLib.supportsLocalEnumeration(myObj),
              "the duplication method requires locally enumerable "
              "descriptors; use cooperation instead");
@@ -591,11 +1098,54 @@ McSchedule buildInterDuplication(transport::Comm& comm,
                static_cast<double>(n) / comm.size());
 
   const int me = comm.rank();
+  if (!elementwise) {
+    comm.compute([&] {
+      ChunkTable my(0, n);
+      ChunkTable their(0, n);
+      myLib.enumerateRangeRuns(
+          myObj, mySet, 0, n,
+          [&](Index lin, int owner, Index off, Index count, Index offStride) {
+            my.append(lin, owner, off, count, offStride, "local");
+          });
+      remoteLib.enumerateRangeRuns(
+          remoteObj, remoteSet, 0, n,
+          [&](Index lin, int owner, Index off, Index count, Index offStride) {
+            their.append(lin, owner, off, count, offStride, "remote");
+          });
+      my.checkComplete("local");
+      their.checkComplete("remote");
+      g_buildStats.ownershipTableBytes += my.tableBytes() + their.tableBytes();
+      std::vector<std::vector<OffsetRun>> byPeer;
+      joinTables(my, their, [&](const OwnedRun& m, const OwnedRun& t,
+                                Index pos, Index count) {
+        if (m.owner != me) return;
+        if (byPeer.size() <= static_cast<size_t>(t.owner)) {
+          byPeer.resize(static_cast<size_t>(t.owner) + 1);
+        }
+        // Senders pack their own (source) offsets; receivers unpack into
+        // their own (destination) offsets.
+        sched::appendOffsetRun(byPeer[static_cast<size_t>(t.owner)],
+                               OffsetRun{offAt(m, pos), count, m.offStride});
+      });
+      for (size_t p = 0; p < byPeer.size(); ++p) {
+        if (byPeer[p].empty()) continue;
+        sched::OffsetPlan plan{static_cast<int>(p), {}, std::move(byPeer[p])};
+        if (isSender) {
+          out.plan.sends.push_back(std::move(plan));
+        } else {
+          out.plan.recvs.push_back(std::move(plan));
+        }
+      }
+    });
+    return out;
+  }
   comm.compute([&] {
     std::vector<int> myOwner(static_cast<size_t>(n));
     std::vector<Index> myOff(static_cast<size_t>(n));
     std::vector<int> theirOwner(static_cast<size_t>(n));
     std::vector<Index> theirOff(static_cast<size_t>(n));
+    g_buildStats.ownershipTableBytes +=
+        2 * static_cast<size_t>(n) * (sizeof(int) + sizeof(Index));
     myLib.enumerateAll(myObj, mySet, [&](Index lin, int owner, Index off) {
       myOwner[static_cast<size_t>(lin)] = owner;
       myOff[static_cast<size_t>(lin)] = off;
@@ -613,14 +1163,12 @@ McSchedule buildInterDuplication(transport::Comm& comm,
       if (byPeer.size() <= static_cast<size_t>(peer)) {
         byPeer.resize(static_cast<size_t>(peer) + 1);
       }
-      // Senders pack their own (source) offsets; receivers unpack into
-      // their own (destination) offsets.
       byPeer[static_cast<size_t>(peer)].push_back(myOff[ll]);
       (void)theirOff;
     }
     for (size_t p = 0; p < byPeer.size(); ++p) {
       if (byPeer[p].empty()) continue;
-      sched::OffsetPlan plan{static_cast<int>(p), std::move(byPeer[p])};
+      sched::OffsetPlan plan{static_cast<int>(p), std::move(byPeer[p]), {}};
       if (isSender) {
         out.plan.sends.push_back(std::move(plan));
       } else {
@@ -637,6 +1185,7 @@ McSchedule computeSchedule(transport::Comm& comm, const DistObject& srcObj,
                            const SetOfRegions& srcSet,
                            const DistObject& dstObj,
                            const SetOfRegions& dstSet, Method method) {
+  g_buildStats = BuildStats{};
   const LibraryAdapter& srcLib = adapterFor(srcObj);
   const LibraryAdapter& dstLib = adapterFor(dstObj);
   srcLib.validate(srcObj, srcSet);
@@ -646,38 +1195,51 @@ McSchedule computeSchedule(transport::Comm& comm, const DistObject& srcObj,
              "source and destination sets differ in size (%lld vs %lld)",
              static_cast<long long>(n),
              static_cast<long long>(dstSet.numElements()));
+  const bool elementwise = g_buildElementwise.load(std::memory_order_relaxed);
   if (method == Method::kDuplication) {
-    return buildIntraDuplication(comm, srcLib, srcObj, srcSet, dstLib, dstObj,
-                                 dstSet, n);
+    return elementwise
+               ? buildIntraDuplicationElementwise(comm, srcLib, srcObj, srcSet,
+                                                  dstLib, dstObj, dstSet, n)
+               : buildIntraDuplication(comm, srcLib, srcObj, srcSet, dstLib,
+                                       dstObj, dstSet, n);
   }
-  return buildIntraCooperation(comm, srcLib, srcObj, srcSet, dstLib, dstObj,
-                               dstSet, n);
+  return elementwise
+             ? buildIntraCooperationElementwise(comm, srcLib, srcObj, srcSet,
+                                                dstLib, dstObj, dstSet, n)
+             : buildIntraCooperation(comm, srcLib, srcObj, srcSet, dstLib,
+                                     dstObj, dstSet, n);
 }
 
 McSchedule computeScheduleSend(transport::Comm& comm, const DistObject& srcObj,
                                const SetOfRegions& srcSet, int remoteProgram,
                                Method method) {
+  g_buildStats = BuildStats{};
   const LibraryAdapter& srcLib = adapterFor(srcObj);
   srcLib.validate(srcObj, srcSet);
+  const bool elementwise = g_buildElementwise.load(std::memory_order_relaxed);
   if (method == Method::kDuplication) {
     return buildInterDuplication(comm, srcLib, srcObj, srcSet, remoteProgram,
-                                 /*isSender=*/true);
+                                 /*isSender=*/true, elementwise);
   }
-  return buildInterCooperationSend(comm, srcLib, srcObj, srcSet,
-                                   remoteProgram);
+  return buildInterCooperationSend(comm, srcLib, srcObj, srcSet, remoteProgram,
+                                   elementwise);
 }
 
 McSchedule computeScheduleRecv(transport::Comm& comm, const DistObject& dstObj,
                                const SetOfRegions& dstSet, int remoteProgram,
                                Method method) {
+  g_buildStats = BuildStats{};
   const LibraryAdapter& dstLib = adapterFor(dstObj);
   dstLib.validate(dstObj, dstSet);
+  const bool elementwise = g_buildElementwise.load(std::memory_order_relaxed);
   if (method == Method::kDuplication) {
     return buildInterDuplication(comm, dstLib, dstObj, dstSet, remoteProgram,
-                                 /*isSender=*/false);
+                                 /*isSender=*/false, elementwise);
   }
-  return buildInterCooperationRecv(comm, dstLib, dstObj, dstSet,
-                                   remoteProgram);
+  return elementwise ? buildInterCooperationRecvElementwise(
+                           comm, dstLib, dstObj, dstSet, remoteProgram)
+                     : buildInterCooperationRecv(comm, dstLib, dstObj, dstSet,
+                                                 remoteProgram);
 }
 
 McSchedule reverseSchedule(const McSchedule& sched) {
@@ -688,5 +1250,13 @@ McSchedule reverseSchedule(const McSchedule& sched) {
   out.isSender = sched.remoteProgram >= 0 ? !sched.isSender : false;
   return out;
 }
+
+const BuildStats& lastBuildStats() { return g_buildStats; }
+
+namespace testing {
+bool buildElementwiseForTest(bool enable) {
+  return g_buildElementwise.exchange(enable, std::memory_order_relaxed);
+}
+}  // namespace testing
 
 }  // namespace mc::core

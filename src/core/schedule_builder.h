@@ -73,4 +73,25 @@ McSchedule computeScheduleRecv(transport::Comm& comm, const DistObject& dstObj,
 /// (paper Section 4.3: "the communication schedule is also symmetric").
 McSchedule reverseSchedule(const McSchedule& sched);
 
+/// Telemetry from the last computeSchedule/computeScheduleSend/
+/// computeScheduleRecv call on this thread (each virtual processor is a
+/// thread, so the figures are per-rank): the bytes of ownership-table state
+/// the build materialized.  The run-native builder keeps this proportional
+/// to the number of runs; the element-wise reference path pays one entry
+/// per element.
+struct BuildStats {
+  std::size_t ownershipTableBytes = 0;
+};
+const BuildStats& lastBuildStats();
+
+namespace testing {
+/// Routes all schedule builds through the element-wise reference pipeline
+/// (per-element chunk tables and joins) instead of the run-native interval
+/// join.  Returns the previous setting.  The two pipelines produce
+/// bit-identical schedules; this hook exists for the differential tests
+/// and the build benchmark.  Set it outside World::run regions only — it
+/// is global, not per-rank.
+bool buildElementwiseForTest(bool enable);
+}  // namespace testing
+
 }  // namespace mc::core

@@ -59,6 +59,9 @@ bool agreeOnHit(transport::Comm& comm, int remoteProgram, bool localHit) {
 
 std::shared_ptr<const McSchedule> compressed(McSchedule sched) {
   sched.plan.compress();
+  // Cached schedules keep only the run form; the expanded offsets would
+  // double the resident footprint for no executor benefit.
+  sched.plan.releaseExpandedForms();
   return std::make_shared<const McSchedule>(std::move(sched));
 }
 

@@ -27,6 +27,8 @@ struct OffsetRun {
   layout::Index start = 0;
   layout::Index count = 0;
   layout::Index stride = 0;
+
+  bool operator==(const OffsetRun&) const = default;
 };
 
 /// A run of local src->dst element copies: src + k*srcStride goes to
@@ -37,6 +39,8 @@ struct LocalRun {
   layout::Index count = 0;
   layout::Index srcStride = 0;
   layout::Index dstStride = 0;
+
+  bool operator==(const LocalRun&) const = default;
 };
 
 /// Collapses an offset list into maximal arithmetic runs, preserving order.
@@ -85,6 +89,80 @@ inline std::vector<LocalRun> compressPairs(
   return runs;
 }
 
+/// Appends a whole run to a run list, preserving compressOffsets' exact
+/// greedy semantics: the result is bit-identical to
+/// compressOffsets(expand(runs) ++ expand(run)).  This is what lets the
+/// run-native schedule builders emit whole runs yet produce the same lanes
+/// the element-wise path would.  The greedy absorbs elements one at a time
+/// only across run seams (a count-1 tail infers its stride from the next
+/// element; a mismatched-stride run donates its first element before the
+/// remainder starts a fresh run), so the loop runs O(1) amortized.
+inline void appendOffsetRun(std::vector<OffsetRun>& runs, OffsetRun run) {
+  while (run.count > 0) {
+    if (!runs.empty()) {
+      OffsetRun& tail = runs.back();
+      if (tail.count == 1) {
+        tail.stride = run.start - tail.start;
+        ++tail.count;
+        run.start += run.stride;
+        --run.count;
+        continue;
+      }
+      if (run.start == tail.start + tail.count * tail.stride) {
+        if (run.count == 1 || run.stride == tail.stride) {
+          tail.count += run.count;
+          return;
+        }
+        ++tail.count;
+        run.start += run.stride;
+        --run.count;
+        continue;
+      }
+    }
+    if (run.count == 1) run.stride = 0;  // canonical singleton form
+    runs.push_back(run);
+    return;
+  }
+}
+
+/// Run-wise analogue of compressPairs: appends a LocalRun preserving the
+/// element-wise greedy exactly (see appendOffsetRun).
+inline void appendLocalRun(std::vector<LocalRun>& runs, LocalRun run) {
+  while (run.count > 0) {
+    if (!runs.empty()) {
+      LocalRun& tail = runs.back();
+      if (tail.count == 1) {
+        tail.srcStride = run.src - tail.src;
+        tail.dstStride = run.dst - tail.dst;
+        ++tail.count;
+        run.src += run.srcStride;
+        run.dst += run.dstStride;
+        --run.count;
+        continue;
+      }
+      if (run.src == tail.src + tail.count * tail.srcStride &&
+          run.dst == tail.dst + tail.count * tail.dstStride) {
+        if (run.count == 1 || (run.srcStride == tail.srcStride &&
+                               run.dstStride == tail.dstStride)) {
+          tail.count += run.count;
+          return;
+        }
+        ++tail.count;
+        run.src += run.srcStride;
+        run.dst += run.dstStride;
+        --run.count;
+        continue;
+      }
+    }
+    if (run.count == 1) {
+      run.srcStride = 0;
+      run.dstStride = 0;
+    }
+    runs.push_back(run);
+    return;
+  }
+}
+
 /// Inverse of compressOffsets.
 inline std::vector<layout::Index> expandOffsets(
     std::span<const OffsetRun> runs) {
@@ -97,9 +175,28 @@ inline std::vector<layout::Index> expandOffsets(
   return out;
 }
 
+/// Inverse of compressPairs.
+inline std::vector<std::pair<layout::Index, layout::Index>> expandPairs(
+    std::span<const LocalRun> runs) {
+  std::vector<std::pair<layout::Index, layout::Index>> out;
+  for (const LocalRun& run : runs) {
+    for (layout::Index k = 0; k < run.count; ++k) {
+      out.emplace_back(run.src + k * run.srcStride,
+                       run.dst + k * run.dstStride);
+    }
+  }
+  return out;
+}
+
 inline layout::Index runElementCount(std::span<const OffsetRun> runs) {
   layout::Index n = 0;
   for (const OffsetRun& run : runs) n += run.count;
+  return n;
+}
+
+inline layout::Index runPairCount(std::span<const LocalRun> runs) {
+  layout::Index n = 0;
+  for (const LocalRun& run : runs) n += run.count;
   return n;
 }
 

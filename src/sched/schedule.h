@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -24,15 +25,32 @@
 
 namespace mc::sched {
 
+/// One peer's pack (or unpack) order.  Plans are runs-first: the Meta-Chaos
+/// builders emit `runs` directly and never materialize per-element offsets;
+/// the library-level builders (parti/hpfrt/chaos) still produce `offsets`
+/// and gain `runs` on compress().  Either form alone is complete — when
+/// both are present they describe the same element sequence.
 struct OffsetPlan {
   int peer = 0;
   std::vector<layout::Index> offsets;  // element offsets in the local buffer
-  /// Run-compressed form of `offsets` (see run_plan.h); empty until the
-  /// schedule is compress()ed.  When present, pack/unpack execute run-wise
-  /// (memcpy for contiguous runs) instead of element-wise.
+  /// Run-compressed form (see run_plan.h).  When present, pack/unpack
+  /// execute run-wise (memcpy for contiguous runs) instead of element-wise.
   std::vector<OffsetRun> runs;
 
   bool compressed() const { return !runs.empty() || offsets.empty(); }
+
+  layout::Index elementCount() const {
+    return runs.empty() ? static_cast<layout::Index>(offsets.size())
+                        : runElementCount(std::span<const OffsetRun>(runs));
+  }
+
+  /// The per-element offset list, expanded from `runs` for runs-first
+  /// plans.  Legacy consumers (element-wise executors, differential tests)
+  /// use this; the hot paths never do.
+  std::vector<layout::Index> expandedOffsets() const {
+    if (!offsets.empty() || runs.empty()) return offsets;
+    return expandOffsets(std::span<const OffsetRun>(runs));
+  }
 };
 
 struct Schedule {
@@ -48,13 +66,25 @@ struct Schedule {
 
   layout::Index totalSendElements() const {
     layout::Index n = 0;
-    for (const auto& p : sends) n += static_cast<layout::Index>(p.offsets.size());
+    for (const auto& p : sends) n += p.elementCount();
     return n;
   }
   layout::Index totalRecvElements() const {
     layout::Index n = 0;
-    for (const auto& p : recvs) n += static_cast<layout::Index>(p.offsets.size());
+    for (const auto& p : recvs) n += p.elementCount();
     return n;
+  }
+  layout::Index localElementCount() const {
+    return localRuns.empty()
+               ? static_cast<layout::Index>(localPairs.size())
+               : runPairCount(std::span<const LocalRun>(localRuns));
+  }
+  /// Local (src, dst) pairs, expanded from `localRuns` when the schedule is
+  /// runs-first.
+  std::vector<std::pair<layout::Index, layout::Index>> expandedLocalPairs()
+      const {
+    if (!localPairs.empty() || localRuns.empty()) return localPairs;
+    return expandPairs(std::span<const LocalRun>(localRuns));
   }
   void sortByPeer() {
     auto byPeer = [](const OffsetPlan& a, const OffsetPlan& b) {
@@ -64,18 +94,44 @@ struct Schedule {
     std::sort(recvs.begin(), recvs.end(), byPeer);
   }
 
-  /// Populates the run-compressed form of every plan.  The offset lists are
-  /// kept: they remain the schedule's ground truth (reverse/merge operate on
-  /// them), the runs are the executor's fast path.  Idempotent.
+  /// Populates the run-compressed form of every plan that still carries an
+  /// offset list.  Runs-first plans (empty offsets, non-empty runs) are
+  /// already authoritative and are left alone.  Idempotent.
   void compress() {
     for (OffsetPlan& p : sends) {
-      p.runs = compressOffsets(std::span<const layout::Index>(p.offsets));
+      if (!p.offsets.empty()) {
+        p.runs = compressOffsets(std::span<const layout::Index>(p.offsets));
+      }
     }
     for (OffsetPlan& p : recvs) {
-      p.runs = compressOffsets(std::span<const layout::Index>(p.offsets));
+      if (!p.offsets.empty()) {
+        p.runs = compressOffsets(std::span<const layout::Index>(p.offsets));
+      }
     }
-    localRuns = compressPairs(
-        std::span<const std::pair<layout::Index, layout::Index>>(localPairs));
+    if (!localPairs.empty()) {
+      localRuns = compressPairs(
+          std::span<const std::pair<layout::Index, layout::Index>>(
+              localPairs));
+    }
+  }
+
+  /// Drops the expanded forms (offsets, localPairs) of a compressed
+  /// schedule, leaving the runs as the only representation — this is how
+  /// cached schedules are stored, halving their memory.  Requires
+  /// compressed().
+  void releaseExpandedForms() {
+    MC_REQUIRE(compressed(),
+               "releaseExpandedForms needs a compressed schedule");
+    for (OffsetPlan& p : sends) {
+      p.offsets.clear();
+      p.offsets.shrink_to_fit();
+    }
+    for (OffsetPlan& p : recvs) {
+      p.offsets.clear();
+      p.offsets.shrink_to_fit();
+    }
+    localPairs.clear();
+    localPairs.shrink_to_fit();
   }
 
   bool compressed() const {
@@ -105,7 +161,7 @@ void execute(transport::Comm& comm, const Schedule& sched,
     std::vector<T> buf;
     comm.compute([&] {
       if (!plan.runs.empty()) {
-        buf.resize(plan.offsets.size());
+        buf.resize(static_cast<size_t>(plan.elementCount()));
         packRuns(src, std::span<const OffsetRun>(plan.runs), buf.data());
         return;
       }
@@ -140,9 +196,10 @@ void execute(transport::Comm& comm, const Schedule& sched,
   });
   for (const OffsetPlan& plan : sched.recvs) {
     const std::vector<T> buf = comm.recv<T>(plan.peer, tag);
-    MC_REQUIRE(buf.size() == plan.offsets.size(),
-               "schedule mismatch: peer %d sent %zu elements, expected %zu",
-               plan.peer, buf.size(), plan.offsets.size());
+    MC_REQUIRE(buf.size() == static_cast<size_t>(plan.elementCount()),
+               "schedule mismatch: peer %d sent %zu elements, expected %lld",
+               plan.peer, buf.size(),
+               static_cast<long long>(plan.elementCount()));
     comm.compute([&] {
       if (!plan.runs.empty()) {
         unpackRuns(std::span<const OffsetRun>(plan.runs), buf.data(), dst);
@@ -167,7 +224,7 @@ void executeAdd(transport::Comm& comm, const Schedule& sched,
     std::vector<T> buf;
     comm.compute([&] {
       if (!plan.runs.empty()) {
-        buf.resize(plan.offsets.size());
+        buf.resize(static_cast<size_t>(plan.elementCount()));
         packRuns(src, std::span<const OffsetRun>(plan.runs), buf.data());
         return;
       }
@@ -189,9 +246,10 @@ void executeAdd(transport::Comm& comm, const Schedule& sched,
   });
   for (const OffsetPlan& plan : sched.recvs) {
     const std::vector<T> buf = comm.recv<T>(plan.peer, tag);
-    MC_REQUIRE(buf.size() == plan.offsets.size(),
-               "schedule mismatch: peer %d sent %zu elements, expected %zu",
-               plan.peer, buf.size(), plan.offsets.size());
+    MC_REQUIRE(buf.size() == static_cast<size_t>(plan.elementCount()),
+               "schedule mismatch: peer %d sent %zu elements, expected %lld",
+               plan.peer, buf.size(),
+               static_cast<long long>(plan.elementCount()));
     comm.compute([&] {
       if (!plan.runs.empty()) {
         unpackRunsAdd(std::span<const OffsetRun>(plan.runs), buf.data(), dst);
@@ -217,32 +275,59 @@ inline Schedule merge(std::span<const Schedule> parts) {
   if (parts.empty()) return out;
   out.bufferLocalCopies = parts.front().bufferLocalCopies;
   bool allCompressed = true;
-  auto append = [](std::vector<OffsetPlan>& into,
-                   const std::vector<OffsetPlan>& from) {
-    for (const OffsetPlan& plan : from) {
-      auto it = std::find_if(into.begin(), into.end(), [&](const OffsetPlan& p) {
-        return p.peer == plan.peer;
-      });
-      if (it == into.end()) {
-        into.push_back(plan);
-        into.back().runs.clear();  // concatenation invalidates runs
-      } else {
-        it->offsets.insert(it->offsets.end(), plan.offsets.begin(),
-                           plan.offsets.end());
-      }
-    }
-  };
+  bool allOffsets = true;  // every plan still carries an offset list
+  bool allPairs = true;    // every part still carries local pairs
   for (const Schedule& part : parts) {
     MC_REQUIRE(part.bufferLocalCopies == out.bufferLocalCopies,
                "cannot merge schedules with different local-copy policies");
     allCompressed = allCompressed && part.compressed();
-    append(out.sends, part.sends);
-    append(out.recvs, part.recvs);
-    out.localPairs.insert(out.localPairs.end(), part.localPairs.begin(),
-                          part.localPairs.end());
+    for (const OffsetPlan& p : part.sends) {
+      allOffsets = allOffsets && (!p.offsets.empty() || p.runs.empty());
+    }
+    for (const OffsetPlan& p : part.recvs) {
+      allOffsets = allOffsets && (!p.offsets.empty() || p.runs.empty());
+    }
+    allPairs = allPairs && (!part.localPairs.empty() || part.localRuns.empty());
+  }
+  // Peer -> lane index, so appending stays O(plans) instead of the
+  // O(parts x peers^2) repeated linear scan.
+  std::unordered_map<int, size_t> sendLane, recvLane;
+  auto append = [&](std::vector<OffsetPlan>& into,
+                    std::unordered_map<int, size_t>& lane,
+                    const OffsetPlan& plan) {
+    const auto [it, fresh] = lane.try_emplace(plan.peer, into.size());
+    if (fresh) into.push_back(OffsetPlan{plan.peer, {}, {}});
+    OffsetPlan& dst = into[it->second];
+    if (allCompressed) {
+      // Concatenate runs directly (run-wise greedy == element-wise greedy),
+      // no expand-and-recompress round trip.
+      for (const OffsetRun& run : plan.runs) appendOffsetRun(dst.runs, run);
+      if (allOffsets) {
+        dst.offsets.insert(dst.offsets.end(), plan.offsets.begin(),
+                           plan.offsets.end());
+      }
+    } else {
+      const std::vector<layout::Index> offs = plan.expandedOffsets();
+      dst.offsets.insert(dst.offsets.end(), offs.begin(), offs.end());
+    }
+  };
+  for (const Schedule& part : parts) {
+    for (const OffsetPlan& p : part.sends) append(out.sends, sendLane, p);
+    for (const OffsetPlan& p : part.recvs) append(out.recvs, recvLane, p);
+    if (allCompressed) {
+      for (const LocalRun& run : part.localRuns) {
+        appendLocalRun(out.localRuns, run);
+      }
+      if (allPairs) {
+        out.localPairs.insert(out.localPairs.end(), part.localPairs.begin(),
+                              part.localPairs.end());
+      }
+    } else {
+      const auto pairs = part.expandedLocalPairs();
+      out.localPairs.insert(out.localPairs.end(), pairs.begin(), pairs.end());
+    }
   }
   out.sortByPeer();
-  if (allCompressed) out.compress();
   return out;
 }
 

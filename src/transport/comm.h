@@ -276,13 +276,27 @@ class Comm {
     }
     return typedBuffers<T>(alltoallBytes(raw));
   }
-  /// Element-wise reduction with `op` at every rank (allreduce).
+  /// Element-wise reduction with `op` at every rank (allreduce):
+  /// binomial-tree reduce to rank 0 followed by a binomial broadcast, so
+  /// the modeled message volume is O(p log p) rather than the O(p^2) a
+  /// rank-0 fan-in allgather would cost.  `op` must be associative and
+  /// commutative; reduction order is deterministic (fixed tree shape) but
+  /// not rank order.
   template <typename T, typename Op>
   T allreduceValue(T v, Op op) {
-    auto all = allgatherValue(v);
-    T acc = all[0];
-    for (size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
-    return acc;
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = collectiveTag();
+    const int me = rank();
+    const int np = size();
+    T acc = v;
+    for (int mask = 1; mask < np; mask <<= 1) {
+      if ((me & mask) != 0) {
+        sendValue(me - mask, tag, acc);
+        break;
+      }
+      if (me + mask < np) acc = op(acc, recvValue<T>(me + mask, tag));
+    }
+    return bcastValue(acc, 0);
   }
   double allreduceMax(double v) {
     return allreduceValue(v, [](double a, double b) { return a > b ? a : b; });

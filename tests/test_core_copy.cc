@@ -244,14 +244,16 @@ TEST(CopyProperties, CooperationAndDuplicationAgree) {
     ASSERT_EQ(coop.plan.sends.size(), dup.plan.sends.size());
     for (size_t i = 0; i < coop.plan.sends.size(); ++i) {
       EXPECT_EQ(coop.plan.sends[i].peer, dup.plan.sends[i].peer);
-      EXPECT_EQ(coop.plan.sends[i].offsets, dup.plan.sends[i].offsets);
+      EXPECT_EQ(coop.plan.sends[i].expandedOffsets(),
+                dup.plan.sends[i].expandedOffsets());
     }
     ASSERT_EQ(coop.plan.recvs.size(), dup.plan.recvs.size());
     for (size_t i = 0; i < coop.plan.recvs.size(); ++i) {
       EXPECT_EQ(coop.plan.recvs[i].peer, dup.plan.recvs[i].peer);
-      EXPECT_EQ(coop.plan.recvs[i].offsets, dup.plan.recvs[i].offsets);
+      EXPECT_EQ(coop.plan.recvs[i].expandedOffsets(),
+                dup.plan.recvs[i].expandedOffsets());
     }
-    EXPECT_EQ(coop.plan.localPairs, dup.plan.localPairs);
+    EXPECT_EQ(coop.plan.expandedLocalPairs(), dup.plan.expandedLocalPairs());
   });
 }
 

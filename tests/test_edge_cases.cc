@@ -33,7 +33,7 @@ TEST(EdgeCases, EmptySetsProduceEmptySchedules) {
                           TulipAdapter::describe(t), dstSet, m);
       EXPECT_TRUE(sched.plan.sends.empty());
       EXPECT_TRUE(sched.plan.recvs.empty());
-      EXPECT_TRUE(sched.plan.localPairs.empty());
+      EXPECT_EQ(sched.plan.localElementCount(), 0);
       dataMove<double>(c, sched, a.raw(), t.raw());  // no-op, no hang
     });
   }
@@ -118,7 +118,7 @@ TEST(EdgeCases, OneDimensionalWorld) {
     const McSchedule sched = computeSchedule(
         c, PartiAdapter::describe(a), srcSet, TulipAdapter::describe(t), dstSet);
     EXPECT_TRUE(sched.plan.sends.empty());
-    EXPECT_EQ(sched.plan.localPairs.size(), 5u);
+    EXPECT_EQ(sched.plan.localElementCount(), 5);
     dataMove<float>(c, sched, a.raw(), t.raw());
     EXPECT_FLOAT_EQ(t.at(3), 3.0f);
   });

@@ -16,6 +16,8 @@
 // Emits BENCH_schedule_build.json next to the ascii table so the perf
 // trajectory is machine-trackable.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <numeric>
 
@@ -36,7 +38,7 @@ using layout::Shape;
 namespace {
 
 constexpr int kProcs = 8;
-constexpr Index kSide = 768;  // 589824 elements per set
+Index kSide = 768;  // elements per set = kSide^2; overridable via --side=N
 constexpr int kReps = 3;
 
 struct Measurement {
@@ -110,7 +112,15 @@ struct MadeCase {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--side=", 7) == 0) {
+      kSide = static_cast<Index>(std::atoll(argv[i] + 7));
+    } else {
+      std::fprintf(stderr, "usage: %s [--side=N]\n", argv[0]);
+      return 2;
+    }
+  }
   const Index n = kSide * kSide;
 
   const auto makeRegularRegular = [&](transport::Comm& c) {

@@ -12,6 +12,8 @@
 // back to their owners.
 #pragma once
 
+#include <optional>
+
 #include "chaos/localize.h"
 
 namespace mc::chaos {
@@ -37,13 +39,20 @@ class EdgeSweep {
 
   const Localized& localized() const { return loc_; }
 
-  /// Collective executor: one forall sweep.
+  /// Collective executor: one forall sweep.  The gather and scatter-add
+  /// executors bind lazily on the first sweep and persist across sweeps, so
+  /// steady-state iterations reuse their message buffers (zero payload
+  /// copies / allocations; see sched::Executor).
   void run(IrregArray<T>& x, IrregArray<T>& y) {
     MC_REQUIRE(x.localCount() == ownedCount_ && y.localCount() == ownedCount_,
                "x/y do not match the inspected distribution");
+    if (!gatherExec_) {
+      gatherExec_.emplace(*comm_, loc_.gatherSched);
+      scatterExec_.emplace(*comm_, loc_.scatterAddSched);
+    }
     xGhost_.assign(static_cast<size_t>(loc_.ghostCount), T{});
     yGhost_.assign(static_cast<size_t>(loc_.ghostCount), T{});
-    gatherGhosts<T>(*comm_, loc_, x.raw(), xGhost_);
+    gatherExec_->run(x.raw(), xGhost_);
     comm_->compute([&] {
       const auto& li = loc_.localIndices;
       for (layout::Index e = 0; e < nLocalEdges_; ++e) {
@@ -54,7 +63,7 @@ class EdgeSweep {
         addAt(y, b, contrib);
       }
     });
-    scatterAddGhosts<T>(*comm_, loc_, yGhost_, y.raw());
+    scatterExec_->runAdd(yGhost_, y.raw());
   }
 
  private:
@@ -75,6 +84,10 @@ class EdgeSweep {
   layout::Index nLocalEdges_ = 0;
   layout::Index ownedCount_ = 0;
   Localized loc_;
+  // Bound lazily on the first run() against loc_'s schedules; do not move
+  // an EdgeSweep after sweeping it (the executors point into loc_).
+  std::optional<sched::Executor<T>> gatherExec_;
+  std::optional<sched::Executor<T>> scatterExec_;
   std::vector<T> xGhost_;
   std::vector<T> yGhost_;
 };

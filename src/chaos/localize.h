@@ -15,7 +15,7 @@
 #pragma once
 
 #include "chaos/irreg_array.h"
-#include "sched/schedule.h"
+#include "sched/executor.h"
 
 namespace mc::chaos {
 
@@ -36,6 +36,8 @@ Localized localize(transport::Comm& comm, const TranslationTable& table,
 
 /// Gather executor: fills `ghost` (size >= ghostCount) with the current
 /// owner values for the localized off-processor references.  Collective.
+/// One-shot convenience; a time-step loop should bind a sched::Executor to
+/// gatherSched once and run() it per step (see chaos::EdgeSweep).
 template <typename T>
 void gatherGhosts(transport::Comm& comm, const Localized& loc,
                   std::span<const T> owned, std::span<T> ghost) {

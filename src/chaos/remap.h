@@ -12,6 +12,7 @@
 
 #include "chaos/irreg_copy.h"
 #include "chaos/irreg_array.h"
+#include "sched/executor.h"
 
 namespace mc::chaos {
 

@@ -50,4 +50,41 @@ void copyRegionsRecv(transport::Comm& comm, const DistObject& dstObj,
   dataMoveRecv<T>(comm, *sched, dst);
 }
 
+/// A persistent intra-program region copier: resolves the schedule through
+/// the cache once at construction and keeps a sched::Executor bound to it,
+/// so a loop calling copy() every iteration reuses both the schedule and
+/// the executor's message buffers (zero transport payload copies or
+/// allocations in steady state) — copyRegions amortizes only the build.
+template <typename T>
+class RegionCopier {
+ public:
+  RegionCopier(transport::Comm& comm, const DistObject& srcObj,
+               const SetOfRegions& srcSet, const DistObject& dstObj,
+               const SetOfRegions& dstSet,
+               Method method = Method::kCooperation,
+               ScheduleCache* cache = nullptr)
+      : exec_(comm,
+              planOf(comm, srcObj, srcSet, dstObj, dstSet, method, cache)) {}
+
+  /// One collective copy under the bound schedule.
+  void copy(std::span<const T> src, std::span<T> dst) { exec_.run(src, dst); }
+
+ private:
+  static std::shared_ptr<const sched::Schedule> planOf(
+      transport::Comm& comm, const DistObject& srcObj,
+      const SetOfRegions& srcSet, const DistObject& dstObj,
+      const SetOfRegions& dstSet, Method method, ScheduleCache* cache) {
+    ScheduleCache& c = cache != nullptr ? *cache : defaultScheduleCache();
+    std::shared_ptr<const McSchedule> sched =
+        c.getOrBuild(comm, srcObj, srcSet, dstObj, dstSet, method);
+    MC_REQUIRE(sched->remoteProgram < 0,
+               "RegionCopier is intra-program; use copyRegionsSend/Recv");
+    // Aliasing share: the executor keeps the whole McSchedule alive while
+    // pointing at its plan.
+    return std::shared_ptr<const sched::Schedule>(sched, &sched->plan);
+  }
+
+  sched::Executor<T> exec_;
+};
+
 }  // namespace mc::core

@@ -15,9 +15,16 @@
 // All three are collective over the program(s) involved: every processor
 // must call them, even processors with nothing to transfer, so that
 // inter-program tag counters stay paired.
+//
+// All three are one-shot conveniences over sched::Executor; a time-step
+// loop moving data every iteration should instead bind an Executor to the
+// schedule once (Executor for dataMove, Executor::sender / ::receiver for
+// the inter-program halves) and run it per step, keeping its persistent
+// pack buffers.
 #pragma once
 
 #include "core/schedule_builder.h"
+#include "sched/executor.h"
 
 namespace mc::core {
 
@@ -33,59 +40,21 @@ void dataMove(transport::Comm& comm, const McSchedule& sched,
 template <typename T>
 void dataMoveSend(transport::Comm& comm, const McSchedule& sched,
                   std::span<const T> src) {
-  static_assert(std::is_trivially_copyable_v<T>);
   MC_REQUIRE(sched.remoteProgram >= 0 && sched.isSender,
              "dataMoveSend needs the sending half of an inter-program "
              "schedule");
-  const int tag = comm.nextInterTag(sched.remoteProgram);
-  MC_CHECK(sched.plan.localElementCount() == 0);
-  for (const sched::OffsetPlan& plan : sched.plan.sends) {
-    std::vector<T> buf;
-    comm.compute([&] {
-      if (!plan.runs.empty()) {
-        buf.resize(static_cast<size_t>(plan.elementCount()));
-        sched::packRuns(src, std::span<const sched::OffsetRun>(plan.runs),
-                        buf.data());
-        return;
-      }
-      buf.reserve(plan.offsets.size());
-      for (layout::Index off : plan.offsets) {
-        buf.push_back(src[static_cast<size_t>(off)]);
-      }
-    });
-    comm.sendTo(sched.remoteProgram, plan.peer, tag, buf);
-  }
+  sched::Executor<T>::sender(comm, sched.plan, sched.remoteProgram)
+      .runSend(src);
 }
 
 template <typename T>
 void dataMoveRecv(transport::Comm& comm, const McSchedule& sched,
                   std::span<T> dst) {
-  static_assert(std::is_trivially_copyable_v<T>);
   MC_REQUIRE(sched.remoteProgram >= 0 && !sched.isSender,
              "dataMoveRecv needs the receiving half of an inter-program "
              "schedule");
-  const int tag = comm.nextInterTag(sched.remoteProgram);
-  MC_CHECK(sched.plan.localElementCount() == 0);
-  for (const sched::OffsetPlan& plan : sched.plan.recvs) {
-    const std::vector<T> buf =
-        comm.recvFrom<T>(sched.remoteProgram, plan.peer, tag);
-    MC_REQUIRE(buf.size() == static_cast<size_t>(plan.elementCount()),
-               "schedule mismatch: remote rank %d sent %zu elements, "
-               "expected %lld",
-               plan.peer, buf.size(),
-               static_cast<long long>(plan.elementCount()));
-    comm.compute([&] {
-      if (!plan.runs.empty()) {
-        sched::unpackRuns(std::span<const sched::OffsetRun>(plan.runs),
-                          buf.data(), dst);
-        return;
-      }
-      size_t i = 0;
-      for (layout::Index off : plan.offsets) {
-        dst[static_cast<size_t>(off)] = buf[i++];
-      }
-    });
-  }
+  sched::Executor<T>::receiver(comm, sched.plan, sched.remoteProgram)
+      .runRecv(dst);
 }
 
 }  // namespace mc::core

@@ -9,7 +9,7 @@
 #pragma once
 
 #include "hpfrt/hpf_array.h"
-#include "sched/schedule.h"
+#include "sched/executor.h"
 #include "sched/schedule_cache.h"
 
 namespace mc::hpfrt {
@@ -55,5 +55,28 @@ void sectionAssign(const HpfArray<T>& src, const layout::RegularSection& srcSec,
                                           dstSec, src.comm().rank());
   redistribute(*sched, src, dst);
 }
+
+/// A persistent section-assignment executor: binds once to the cached
+/// redistribution schedule for (src, srcSec) -> (dst, dstSec) and reuses
+/// its message buffers across assign() calls — the form a time-step loop
+/// repeating the same assignment should hold.
+template <typename T>
+class SectionAssigner {
+ public:
+  SectionAssigner(const HpfArray<T>& src, const layout::RegularSection& srcSec,
+                  HpfArray<T>& dst, const layout::RegularSection& dstSec)
+      : src_(&src),
+        dst_(&dst),
+        exec_(src.comm(), cachedRedistSchedule(src.dist(), srcSec, dst.dist(),
+                                               dstSec, src.comm().rank())) {}
+
+  /// One collective assignment, dst[dstSec] = src[srcSec].
+  void assign() { exec_.run(src_->raw(), dst_->raw()); }
+
+ private:
+  const HpfArray<T>* src_;
+  HpfArray<T>* dst_;
+  sched::Executor<T> exec_;
+};
 
 }  // namespace mc::hpfrt

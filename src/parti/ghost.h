@@ -9,6 +9,7 @@
 #pragma once
 
 #include "parti/dist_array.h"
+#include "parti/sched_cache.h"
 #include "parti/schedule.h"
 
 namespace mc::parti {
@@ -23,11 +24,35 @@ Schedule buildGhostSchedule(const BlockDistArray<T>& array) {
   return buildGhostSchedule(array.desc(), array.comm().rank());
 }
 
-/// Executes a ghost fill on `array` (collective).
+/// Executes a ghost fill on `array` (collective).  One-shot; time-step
+/// loops should hold a GhostExchanger instead.
 template <typename T>
 void exchangeGhosts(BlockDistArray<T>& array, const Schedule& sched) {
   const int tag = array.comm().nextUserTag();
   execute<T>(array.comm(), sched, array.raw(), array.raw(), tag);
 }
+
+/// A persistent ghost-fill executor for one array: shares the rank's cached
+/// ghost schedule and keeps a bound sched::Executor across exchanges, so
+/// steady-state fills reuse their message buffers (zero transport payload
+/// copies or allocations per step).  The array must outlive the exchanger
+/// and keep its distribution.
+template <typename T>
+class GhostExchanger {
+ public:
+  explicit GhostExchanger(BlockDistArray<T>& array)
+      : array_(&array),
+        exec_(array.comm(),
+              cachedGhostSchedule(array.desc(), array.comm().rank())) {}
+
+  /// One collective ghost fill (src and dst alias the array's storage).
+  void exchange() { exec_.run(array_->raw(), array_->raw()); }
+
+  const Schedule& schedule() const { return exec_.schedule(); }
+
+ private:
+  BlockDistArray<T>* array_;
+  Executor<T> exec_;
+};
 
 }  // namespace mc::parti

@@ -1,0 +1,411 @@
+// sched::Executor — the zero-copy, arrival-order schedule executor.
+//
+// A Schedule is built once and executed many times (the inspector/executor
+// split the paper inherits from Saltz et al.); the free-function execute()
+// re-derived buffers and matching state on every call and paid two payload
+// copies per message (pack buffer -> Message on send, Message -> temporary
+// vector on receive).  An Executor instead *binds* to one schedule:
+//
+//   bind (construction)           run (per time-step)
+//   ---------------------------   -------------------------------------
+//   per-peer plan byte counts     pack runs straight into a pooled
+//   recv slots indexed by         payload buffer, move it into the
+//     source global rank          Message (zero copies), drain receives
+//   persistent free-buffer list   in *arrival order*, unpack straight
+//                                 out of the Message payload, recycle
+//                                 the buffer for the next step's sends
+//
+// In steady state a run() performs no transport-layer payload copies and —
+// for schedules whose send and receive volumes match, e.g. ghost exchanges —
+// no payload heap allocations: each received buffer becomes one of the next
+// step's send buffers.  TrafficStats{bytesCopied, allocations} observe this.
+//
+// Arrival-order drain: receives match any rank of the peer program
+// (Comm::recvMsgAnyOf) and are routed to their plan by the sender's global
+// rank.  This is safe for copy semantics because builders produce *disjoint*
+// per-peer receive offsets — unpacks commute — and each (peer, tag) pair
+// carries exactly one message per run, so the MPI non-overtaking guarantee
+// is never needed across peers, only within one pair where the mailbox
+// already provides it.  Accumulating runs (runAdd) are NOT order-independent
+// (floating-point += does not commute across peers targeting the same
+// offset), so the drain stashes payloads and applies them in peer order —
+// results stay bitwise identical under any delivery interleaving.
+//
+// setDrainOrder(DrainOrder::kPeer) is a debug flag restoring the old
+// peer-ordered receives; data results are identical, only the virtual-clock
+// interleaving (and wall time) differ.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sched/plan_exec.h"
+#include "sched/schedule.h"
+#include "transport/comm.h"
+
+namespace mc::sched {
+
+/// How run() consumes its receives.
+enum class DrainOrder {
+  kArrival,  // any-source within the peer program, routed by sender rank
+  kPeer,     // fixed peer order (debug: fully deterministic virtual clocks)
+};
+
+namespace detail {
+inline std::atomic<DrainOrder>& drainOrderFlag() {
+  static std::atomic<DrainOrder> flag{DrainOrder::kArrival};
+  return flag;
+}
+}  // namespace detail
+
+inline DrainOrder drainOrder() {
+  return detail::drainOrderFlag().load(std::memory_order_relaxed);
+}
+/// Process-wide debug switch; set it before the world runs (it is read by
+/// every virtual processor).
+inline void setDrainOrder(DrainOrder order) {
+  detail::drainOrderFlag().store(order, std::memory_order_relaxed);
+}
+
+template <typename T>
+class Executor {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// Binds to an intra-program schedule the caller keeps alive.
+  Executor(transport::Comm& comm, const Schedule& sched)
+      : Executor(comm, &sched, nullptr, /*remoteProgram=*/-1) {}
+
+  /// Binds to an intra-program schedule, sharing ownership (the usual form
+  /// for cached schedules).
+  Executor(transport::Comm& comm, std::shared_ptr<const Schedule> sched)
+      : Executor(comm, sched.get(), sched, /*remoteProgram=*/-1) {}
+
+  /// The sending half of an inter-program move (peer ranks of the
+  /// schedule's sends live in `remoteProgram`).
+  static Executor sender(transport::Comm& comm, const Schedule& sched,
+                         int remoteProgram) {
+    MC_REQUIRE(sched.recvs.empty(),
+               "sender half must not carry receive plans");
+    MC_REQUIRE(sched.localElementCount() == 0,
+               "inter-program schedules have no local transfers");
+    return Executor(comm, &sched, nullptr, remoteProgram);
+  }
+  static Executor sender(transport::Comm& comm,
+                         std::shared_ptr<const Schedule> sched,
+                         int remoteProgram) {
+    MC_REQUIRE(sched && sched->recvs.empty() &&
+               sched->localElementCount() == 0);
+    return Executor(comm, sched.get(), sched, remoteProgram);
+  }
+
+  /// The receiving half of an inter-program move.
+  static Executor receiver(transport::Comm& comm, const Schedule& sched,
+                           int remoteProgram) {
+    MC_REQUIRE(sched.sends.empty(),
+               "receiver half must not carry send plans");
+    MC_REQUIRE(sched.localElementCount() == 0,
+               "inter-program schedules have no local transfers");
+    return Executor(comm, &sched, nullptr, remoteProgram);
+  }
+  static Executor receiver(transport::Comm& comm,
+                           std::shared_ptr<const Schedule> sched,
+                           int remoteProgram) {
+    MC_REQUIRE(sched && sched->sends.empty() &&
+               sched->localElementCount() == 0);
+    return Executor(comm, sched.get(), sched, remoteProgram);
+  }
+
+  const Schedule& schedule() const { return *sched_; }
+
+  // --- intra-program runs ---------------------------------------------------
+
+  /// One schedule execution: pack + send, local copies, drain + unpack.
+  /// Collective over the program; `tag` must match across it.  `src` and
+  /// `dst` may alias (ghost fills).
+  void run(std::span<const T> src, std::span<T> dst, int tag) {
+    MC_REQUIRE(remoteProgram_ < 0,
+               "inter-program executor: use runSend / runRecv");
+    sendPhase(src, tag);
+    localPhase(src, dst, /*add=*/false);
+    drainCopy(dst, tag);
+  }
+  void run(std::span<const T> src, std::span<T> dst) {
+    run(src, dst, comm_->nextUserTag());
+  }
+
+  /// Accumulating execution (dst[off] += value): the Chaos scatter-add.
+  /// Received contributions are applied in peer order regardless of arrival
+  /// order, so results are bitwise deterministic.
+  void runAdd(std::span<const T> src, std::span<T> dst, int tag) {
+    MC_REQUIRE(remoteProgram_ < 0,
+               "inter-program executor: use runSend / runRecv");
+    sendPhase(src, tag);
+    localPhase(src, dst, /*add=*/true);
+    drainAdd(dst, tag);
+  }
+  void runAdd(std::span<const T> src, std::span<T> dst) {
+    runAdd(src, dst, comm_->nextUserTag());
+  }
+
+  // --- inter-program halves -------------------------------------------------
+
+  /// Sender half; the remote program concurrently calls runRecv on the
+  /// matching receiver executor.  Collective over both programs.
+  void runSend(std::span<const T> src) {
+    MC_REQUIRE(remoteProgram_ >= 0, "intra-program executor: use run");
+    sendPhase(src, comm_->nextInterTag(remoteProgram_));
+  }
+
+  /// Receiver half.
+  void runRecv(std::span<T> dst) {
+    MC_REQUIRE(remoteProgram_ >= 0, "intra-program executor: use run");
+    drainCopy(dst, comm_->nextInterTag(remoteProgram_));
+  }
+
+ private:
+  struct RecvSlot {
+    int srcGlobal = 0;       // sender's global rank (the arrival-order key)
+    std::size_t bytes = 0;   // exact expected payload size
+    std::uint64_t epoch = 0;  // last run that consumed this slot
+  };
+
+  Executor(transport::Comm& comm, const Schedule* sched,
+           std::shared_ptr<const Schedule> keepAlive, int remoteProgram)
+      : comm_(&comm),
+        keepAlive_(std::move(keepAlive)),
+        sched_(sched),
+        remoteProgram_(remoteProgram) {
+    MC_REQUIRE(sched_ != nullptr);
+    bind();
+  }
+
+  void bind() {
+    const int peerProg =
+        remoteProgram_ >= 0 ? remoteProgram_ : comm_->program();
+    sendPlanBytes_.reserve(sched_->sends.size());
+    for (const OffsetPlan& p : sched_->sends) {
+      sendPlanBytes_.push_back(static_cast<std::size_t>(p.elementCount()) *
+                               sizeof(T));
+    }
+    slots_.reserve(sched_->recvs.size());
+    for (const OffsetPlan& p : sched_->recvs) {
+      RecvSlot s;
+      s.srcGlobal = comm_->globalRankOf(peerProg, p.peer);
+      s.bytes = static_cast<std::size_t>(p.elementCount()) * sizeof(T);
+      // Plans are sorted by peer and global ranks are monotone in peer, so
+      // slots_ is sorted by srcGlobal and slot index == plan index; a
+      // duplicate peer would break the one-message-per-pair matching.
+      MC_REQUIRE(slots_.empty() || slots_.back().srcGlobal < s.srcGlobal,
+                 "receive plans must be sorted by peer, without duplicates");
+      slots_.push_back(s);
+    }
+    stash_.resize(sched_->recvs.size());
+  }
+
+  // --- send side ------------------------------------------------------------
+
+  void sendPhase(std::span<const T> src, int tag) {
+    for (std::size_t i = 0; i < sched_->sends.size(); ++i) {
+      const OffsetPlan& plan = sched_->sends[i];
+      std::vector<std::byte> payload = obtainBuffer(sendPlanBytes_[i]);
+      comm_->compute([&] {
+        packPlan<T>(plan, src, reinterpret_cast<T*>(payload.data()));
+      });
+      if (remoteProgram_ >= 0) {
+        comm_->sendBytesTo(remoteProgram_, plan.peer, tag,
+                           std::move(payload));
+      } else {
+        comm_->sendBytes(plan.peer, tag, std::move(payload));
+      }
+    }
+  }
+
+  /// A payload buffer with size() == nbytes: best-fit from the executor's
+  /// own recycled buffers (deterministic — no cross-thread state), falling
+  /// back to the world pool.
+  std::vector<std::byte> obtainBuffer(std::size_t nbytes) {
+    std::size_t best = freeBufs_.size();
+    for (std::size_t i = 0; i < freeBufs_.size(); ++i) {
+      if (freeBufs_[i].capacity() < nbytes) continue;
+      if (best == freeBufs_.size() ||
+          freeBufs_[i].capacity() < freeBufs_[best].capacity()) {
+        best = i;
+      }
+    }
+    if (best == freeBufs_.size()) return comm_->acquirePayload(nbytes);
+    std::vector<std::byte> buf = std::move(freeBufs_[best]);
+    freeBufs_.erase(freeBufs_.begin() +
+                    static_cast<std::ptrdiff_t>(best));
+    buf.resize(nbytes);  // capacity suffices: no reallocation
+    return buf;
+  }
+
+  /// Parks a drained payload for the next step's sends (up to one buffer
+  /// per send plan — the steady-state demand); overflow recycles through
+  /// the world pool so other ranks can reuse the capacity.
+  void recycle(std::vector<std::byte>&& payload) {
+    if (freeBufs_.size() < sched_->sends.size()) {
+      freeBufs_.push_back(std::move(payload));
+    } else {
+      comm_->releasePayload(std::move(payload));
+    }
+  }
+
+  // --- local transfers ------------------------------------------------------
+
+  void localPhase(std::span<const T> src, std::span<T> dst, bool add) {
+    comm_->compute([&] {
+      if (add) {
+        if (!sched_->localRuns.empty()) {
+          addLocalRuns(std::span<const LocalRun>(sched_->localRuns), src,
+                       dst);
+        } else {
+          for (const auto& [from, to] : sched_->localPairs) {
+            dst[static_cast<std::size_t>(to)] +=
+                src[static_cast<std::size_t>(from)];
+          }
+        }
+        return;
+      }
+      if (!sched_->localRuns.empty()) {
+        // Run-wise copies have read-all-then-write semantics per run
+        // (memmove), serving both local-copy policies.
+        copyLocalRuns(std::span<const LocalRun>(sched_->localRuns), src, dst);
+      } else if (sched_->bufferLocalCopies) {
+        // Authentic Parti staging, through a buffer that persists across
+        // runs instead of reallocating each step.
+        localStage_.resize(sched_->localPairs.size());
+        std::size_t i = 0;
+        for (const auto& [from, to] : sched_->localPairs) {
+          localStage_[i++] = src[static_cast<std::size_t>(from)];
+        }
+        i = 0;
+        for (const auto& [from, to] : sched_->localPairs) {
+          dst[static_cast<std::size_t>(to)] = localStage_[i++];
+        }
+      } else {
+        for (const auto& [from, to] : sched_->localPairs) {
+          dst[static_cast<std::size_t>(to)] =
+              src[static_cast<std::size_t>(from)];
+        }
+      }
+    });
+  }
+
+  // --- receive side ---------------------------------------------------------
+
+  transport::Message nextMessage(std::size_t k, int tag) {
+    if (drainOrder() == DrainOrder::kPeer) {
+      const int peer = sched_->recvs[k].peer;
+      return remoteProgram_ >= 0
+                 ? comm_->recvMsgFrom(remoteProgram_, peer, tag)
+                 : comm_->recvMsg(peer, tag);
+    }
+    const int prog = remoteProgram_ >= 0 ? remoteProgram_ : comm_->program();
+    return comm_->recvMsgAnyOf(prog, tag);
+  }
+
+  /// Routes a drained message to its plan by sender rank, verifying size
+  /// and that no plan is served twice in one run.
+  std::size_t slotFor(const transport::Message& m) {
+    std::size_t lo = 0, hi = slots_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (slots_[mid].srcGlobal < m.srcGlobal) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    MC_REQUIRE(lo < slots_.size() && slots_[lo].srcGlobal == m.srcGlobal,
+               "unexpected message from global rank %d (tag %d)", m.srcGlobal,
+               m.tag);
+    RecvSlot& slot = slots_[lo];
+    MC_REQUIRE(slot.epoch != runEpoch_,
+               "duplicate message from global rank %d in one run",
+               m.srcGlobal);
+    slot.epoch = runEpoch_;
+    MC_REQUIRE(m.payload.size() == slot.bytes,
+               "schedule mismatch: peer sent %zu bytes, expected %zu",
+               m.payload.size(), slot.bytes);
+    return lo;  // slot index == plan index (both sorted by peer)
+  }
+
+  void drainCopy(std::span<T> dst, int tag) {
+    ++runEpoch_;
+    for (std::size_t n = 0; n < sched_->recvs.size(); ++n) {
+      transport::Message m = nextMessage(n, tag);
+      const std::size_t k = slotFor(m);
+      const OffsetPlan& plan = sched_->recvs[k];
+      // Unpack straight out of the payload — builders emit disjoint
+      // per-peer receive offsets, so these unpacks commute and arrival
+      // order cannot change the result.
+      comm_->compute([&] {
+        unpackPlan<T>(plan, transport::payloadView<T>(m).data(), dst);
+      });
+      recycle(std::move(m.payload));
+    }
+  }
+
+  void drainAdd(std::span<T> dst, int tag) {
+    ++runEpoch_;
+    // += does not commute across peers hitting the same offset, so take
+    // messages as they arrive but *apply* them in peer order: stash each
+    // payload in its plan's slot, then accumulate plan by plan.
+    for (std::size_t n = 0; n < sched_->recvs.size(); ++n) {
+      transport::Message m = nextMessage(n, tag);
+      stash_[slotFor(m)] = std::move(m.payload);
+    }
+    for (std::size_t k = 0; k < sched_->recvs.size(); ++k) {
+      const OffsetPlan& plan = sched_->recvs[k];
+      // Same reinterpretation payloadView performs; the slot's size was
+      // verified when the message was stashed.
+      comm_->compute([&] {
+        unpackPlanAdd<T>(plan,
+                         reinterpret_cast<const T*>(stash_[k].data()), dst);
+      });
+      recycle(std::move(stash_[k]));
+      stash_[k] = {};
+    }
+  }
+
+  transport::Comm* comm_;
+  std::shared_ptr<const Schedule> keepAlive_;
+  const Schedule* sched_;
+  int remoteProgram_;  // -1 for intra-program executors
+
+  std::vector<std::size_t> sendPlanBytes_;  // per send plan, fixed at bind
+  std::vector<RecvSlot> slots_;             // sorted by srcGlobal
+  std::uint64_t runEpoch_ = 0;
+  std::vector<std::vector<std::byte>> freeBufs_;  // recycled payloads
+  std::vector<std::vector<std::byte>> stash_;     // runAdd deferral slots
+  std::vector<T> localStage_;  // persistent Parti local-copy staging
+};
+
+/// Executes `sched` within one program: packs `src` elements, sends at most
+/// one message per peer, copies local pairs, then unpacks into `dst`.
+/// Collective; `tag` must match across the program (comm.nextUserTag()).
+/// `src` and `dst` may alias (e.g. a ghost fill within one buffer).
+///
+/// One-shot convenience over Executor — loops should bind an Executor once
+/// and run() it per step to keep its persistent buffers.
+template <typename T>
+void execute(transport::Comm& comm, const Schedule& sched,
+             std::span<const T> src, std::span<T> dst, int tag) {
+  Executor<T>(comm, sched).run(src, dst, tag);
+}
+
+/// Like execute, but *accumulates* received and local elements into `dst`
+/// (dst[off] += value).  This is the Chaos scatter-add executor used for
+/// irregular reductions such as Loop 3 of the paper's Figure 1.
+template <typename T>
+void executeAdd(transport::Comm& comm, const Schedule& sched,
+                std::span<const T> src, std::span<T> dst, int tag) {
+  Executor<T>(comm, sched).runAdd(src, dst, tag);
+}
+
+}  // namespace mc::sched

@@ -1,0 +1,61 @@
+// Shared pack/unpack primitives for one OffsetPlan.
+//
+// Every executor needs the same three moves — gather a plan's elements into
+// a contiguous buffer, scatter a contiguous buffer to a plan's elements,
+// and the accumulating scatter — each with a run-wise fast path and an
+// element-wise fallback for uncompressed plans.  These helpers are that
+// logic, written once; sched::Executor, the reference executors, and the
+// inter-program data-move halves all call them instead of carrying private
+// copies of the same lambdas.
+#pragma once
+
+#include <span>
+#include <type_traits>
+
+#include "sched/run_plan.h"
+#include "sched/schedule.h"
+
+namespace mc::sched {
+
+/// Packs `plan`'s source elements into `out`, which must hold
+/// plan.elementCount() elements.  Run-wise when the plan is compressed.
+template <typename T>
+void packPlan(const OffsetPlan& plan, std::span<const T> src, T* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (!plan.runs.empty()) {
+    packRuns(src, std::span<const OffsetRun>(plan.runs), out);
+    return;
+  }
+  for (layout::Index off : plan.offsets) {
+    *out++ = src[static_cast<size_t>(off)];
+  }
+}
+
+/// Unpacks `buf` (plan.elementCount() elements, pack order) into `dst` at
+/// the plan's offsets.
+template <typename T>
+void unpackPlan(const OffsetPlan& plan, const T* buf, std::span<T> dst) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (!plan.runs.empty()) {
+    unpackRuns(std::span<const OffsetRun>(plan.runs), buf, dst);
+    return;
+  }
+  for (layout::Index off : plan.offsets) {
+    dst[static_cast<size_t>(off)] = *buf++;
+  }
+}
+
+/// Accumulating unpack: dst[off] += value, in pack order.
+template <typename T>
+void unpackPlanAdd(const OffsetPlan& plan, const T* buf, std::span<T> dst) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (!plan.runs.empty()) {
+    unpackRunsAdd(std::span<const OffsetRun>(plan.runs), buf, dst);
+    return;
+  }
+  for (layout::Index off : plan.offsets) {
+    dst[static_cast<size_t>(off)] += *buf++;
+  }
+}
+
+}  // namespace mc::sched

@@ -11,6 +11,10 @@
 // Chaos (gather / scatter-add), the HPF runtime (redistribution) and
 // Meta-Chaos itself (inter-library copies); each library differs only in how
 // it *builds* the offsets.
+//
+// This header holds the schedule *data structures* (plus merge / reverse);
+// execution lives in sched/executor.h (sched::Executor and the execute /
+// executeAdd one-shot wrappers).
 #pragma once
 
 #include <algorithm>
@@ -144,124 +148,6 @@ struct Schedule {
     return localRuns.size() > 0 || localPairs.empty();
   }
 };
-
-/// Executes `sched` within one program: packs `src` elements, sends at most
-/// one message per peer, copies local pairs, then unpacks into `dst`.
-/// Collective; `tag` must match across the program (comm.nextUserTag()).
-/// `src` and `dst` may alias (e.g. a ghost fill within one buffer).
-template <typename T>
-void execute(transport::Comm& comm, const Schedule& sched,
-             std::span<const T> src, std::span<T> dst, int tag) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  // Pack/copy/unpack loops run under compute() so their CPU time is charged
-  // to the virtual clock; the messages charge their own transfer costs.
-  // Compressed plans (see Schedule::compress) execute run-wise — one memcpy
-  // per contiguous run instead of one assignment per element.
-  for (const OffsetPlan& plan : sched.sends) {
-    std::vector<T> buf;
-    comm.compute([&] {
-      if (!plan.runs.empty()) {
-        buf.resize(static_cast<size_t>(plan.elementCount()));
-        packRuns(src, std::span<const OffsetRun>(plan.runs), buf.data());
-        return;
-      }
-      buf.reserve(plan.offsets.size());
-      for (layout::Index off : plan.offsets) {
-        buf.push_back(src[static_cast<size_t>(off)]);
-      }
-    });
-    comm.send(plan.peer, tag, buf);
-  }
-  comm.compute([&] {
-    if (!sched.localRuns.empty()) {
-      // The run executor has read-all-then-write semantics per run
-      // (memmove), so it serves both local-copy policies; schedules built by
-      // this repo never overlap local sources with local destinations.
-      copyLocalRuns(std::span<const LocalRun>(sched.localRuns), src, dst);
-    } else if (sched.bufferLocalCopies) {
-      std::vector<T> buf;
-      buf.reserve(sched.localPairs.size());
-      for (const auto& [from, to] : sched.localPairs) {
-        buf.push_back(src[static_cast<size_t>(from)]);
-      }
-      size_t i = 0;
-      for (const auto& [from, to] : sched.localPairs) {
-        dst[static_cast<size_t>(to)] = buf[i++];
-      }
-    } else {
-      for (const auto& [from, to] : sched.localPairs) {
-        dst[static_cast<size_t>(to)] = src[static_cast<size_t>(from)];
-      }
-    }
-  });
-  for (const OffsetPlan& plan : sched.recvs) {
-    const std::vector<T> buf = comm.recv<T>(plan.peer, tag);
-    MC_REQUIRE(buf.size() == static_cast<size_t>(plan.elementCount()),
-               "schedule mismatch: peer %d sent %zu elements, expected %lld",
-               plan.peer, buf.size(),
-               static_cast<long long>(plan.elementCount()));
-    comm.compute([&] {
-      if (!plan.runs.empty()) {
-        unpackRuns(std::span<const OffsetRun>(plan.runs), buf.data(), dst);
-        return;
-      }
-      size_t i = 0;
-      for (layout::Index off : plan.offsets) {
-        dst[static_cast<size_t>(off)] = buf[i++];
-      }
-    });
-  }
-}
-
-/// Like execute, but *accumulates* received and local elements into `dst`
-/// (dst[off] += value).  This is the Chaos scatter-add executor used for
-/// irregular reductions such as Loop 3 of the paper's Figure 1.
-template <typename T>
-void executeAdd(transport::Comm& comm, const Schedule& sched,
-                std::span<const T> src, std::span<T> dst, int tag) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  for (const OffsetPlan& plan : sched.sends) {
-    std::vector<T> buf;
-    comm.compute([&] {
-      if (!plan.runs.empty()) {
-        buf.resize(static_cast<size_t>(plan.elementCount()));
-        packRuns(src, std::span<const OffsetRun>(plan.runs), buf.data());
-        return;
-      }
-      buf.reserve(plan.offsets.size());
-      for (layout::Index off : plan.offsets) {
-        buf.push_back(src[static_cast<size_t>(off)]);
-      }
-    });
-    comm.send(plan.peer, tag, buf);
-  }
-  comm.compute([&] {
-    if (!sched.localRuns.empty()) {
-      addLocalRuns(std::span<const LocalRun>(sched.localRuns), src, dst);
-    } else {
-      for (const auto& [from, to] : sched.localPairs) {
-        dst[static_cast<size_t>(to)] += src[static_cast<size_t>(from)];
-      }
-    }
-  });
-  for (const OffsetPlan& plan : sched.recvs) {
-    const std::vector<T> buf = comm.recv<T>(plan.peer, tag);
-    MC_REQUIRE(buf.size() == static_cast<size_t>(plan.elementCount()),
-               "schedule mismatch: peer %d sent %zu elements, expected %lld",
-               plan.peer, buf.size(),
-               static_cast<long long>(plan.elementCount()));
-    comm.compute([&] {
-      if (!plan.runs.empty()) {
-        unpackRunsAdd(std::span<const OffsetRun>(plan.runs), buf.data(), dst);
-        return;
-      }
-      size_t i = 0;
-      for (layout::Index off : plan.offsets) {
-        dst[static_cast<size_t>(off)] += buf[i++];
-      }
-    });
-  }
-}
 
 /// Merges schedules into one; the merged executor ships ONE message per
 /// peer for the whole group instead of one per part — Chaos's

@@ -23,22 +23,45 @@ int Comm::globalRankOf(int prog, int localRank) const {
 
 void Comm::sendGlobal(int dstGlobal, int tag,
                       std::span<const std::byte> data) {
-  const NetParams& p = world_->net.paramsFor(globalRank_, dstGlobal);
-  clock_ += p.sendOverhead +
-            world_->net.senderOccupancy(globalRank_, dstGlobal, data.size());
+  // Copying path: the payload is a fresh heap buffer filled from `data`.
+  stats_.bytesCopied += data.size();
+  if (!data.empty()) ++stats_.allocations;
   Message msg;
+  msg.payload.assign(data.begin(), data.end());
+  finishSend(dstGlobal, tag, std::move(msg));
+}
+
+void Comm::sendGlobal(int dstGlobal, int tag, std::vector<std::byte>&& data) {
+  // Zero-copy path: the caller's buffer becomes the payload outright.
+  Message msg;
+  msg.payload = std::move(data);
+  finishSend(dstGlobal, tag, std::move(msg));
+}
+
+void Comm::finishSend(int dstGlobal, int tag, Message&& msg) {
+  const NetParams& p = world_->net.paramsFor(globalRank_, dstGlobal);
+  const size_t nbytes = msg.payload.size();
+  clock_ += p.sendOverhead +
+            world_->net.senderOccupancy(globalRank_, dstGlobal, nbytes);
   msg.srcGlobal = globalRank_;
   msg.tag = tag;
-  msg.payload.assign(data.begin(), data.end());
-  msg.arrival = world_->net.arrival(clock_, globalRank_, dstGlobal, data.size());
+  msg.arrival = world_->net.arrival(clock_, globalRank_, dstGlobal, nbytes);
   ++stats_.messagesSent;
-  stats_.bytesSent += data.size();
+  stats_.bytesSent += nbytes;
   world_->mail.deliver(dstGlobal, std::move(msg));
 }
 
 Message Comm::recvGlobal(int srcGlobal, int tag) {
-  Message m = world_->mail.receive(globalRank_, srcGlobal, tag,
-                                   world_->recvTimeoutSeconds);
+  return finishRecv(world_->mail.receive(globalRank_, srcGlobal, tag,
+                                         world_->recvTimeoutSeconds));
+}
+
+Message Comm::recvGlobalRange(int srcLo, int srcHi, int tag) {
+  return finishRecv(world_->mail.receiveRange(globalRank_, srcLo, srcHi, tag,
+                                              world_->recvTimeoutSeconds));
+}
+
+Message Comm::finishRecv(Message m) {
   const NetParams& p = world_->net.paramsFor(m.srcGlobal, globalRank_);
   clock_ = std::max(clock_, m.arrival) + p.recvOverhead +
            world_->net.receiverOccupancy(m.srcGlobal, globalRank_,
@@ -52,13 +75,25 @@ void Comm::sendBytes(int dst, int tag, std::span<const std::byte> data) {
   sendGlobal(globalRankOf(program_, dst), tag, data);
 }
 
+void Comm::sendBytes(int dst, int tag, std::vector<std::byte>&& data) {
+  sendGlobal(globalRankOf(program_, dst), tag, std::move(data));
+}
+
 Message Comm::recvMsg(int src, int tag) {
   const int srcGlobal =
       (src == kAnySource) ? kAnySource : globalRankOf(program_, src);
   // kAnySource within a program must not match cross-program traffic; the
   // libraries in this reproduction always use distinct tags for the two, so
   // plain global matching is sufficient and keeps the mailbox simple.
+  // (Arrival-order schedule drains use recvMsgAnyOf instead, which scopes
+  // the wildcard to one program's rank range.)
   return recvGlobal(srcGlobal, tag);
+}
+
+Message Comm::recvMsgAnyOf(int prog, int tag) {
+  const ProgramInfo& info = programInfo(prog);
+  return recvGlobalRange(info.firstGlobalRank,
+                         info.firstGlobalRank + info.nprocs - 1, tag);
 }
 
 bool Comm::probe(int src, int tag) {
@@ -70,6 +105,11 @@ bool Comm::probe(int src, int tag) {
 void Comm::sendBytesTo(int prog, int rankInProg, int tag,
                        std::span<const std::byte> data) {
   sendGlobal(globalRankOf(prog, rankInProg), tag, data);
+}
+
+void Comm::sendBytesTo(int prog, int rankInProg, int tag,
+                       std::vector<std::byte>&& data) {
+  sendGlobal(globalRankOf(prog, rankInProg), tag, std::move(data));
 }
 
 Message Comm::recvMsgFrom(int prog, int rankInProg, int tag) {
@@ -149,34 +189,45 @@ std::vector<std::vector<std::byte>> Comm::gatherBytes(
   return out;
 }
 
-std::vector<std::vector<std::byte>> Comm::allgatherBytes(
-    std::span<const std::byte> mine) {
+std::vector<std::byte> Comm::allgatherFlat(std::span<const std::byte> mine) {
+  // Single flatten: the root writes each arriving payload straight into the
+  // size-prefixed flat buffer — no intermediate row-of-rows and no second
+  // memcpy per row (the old gather + flatten round trip copied every row
+  // into `rows` and again into `flat` at root).  Rank order is preserved so
+  // the clock arithmetic stays deterministic.
   const int root = 0;
-  auto rows = gatherBytes(mine, root);
-  // Broadcast the concatenation with a size prefix per rank.
+  const int tag = collectiveTag();
   std::vector<std::byte> flat;
   if (localRank_ == root) {
-    for (const auto& row : rows) {
+    const auto appendRow = [&](std::span<const std::byte> row) {
       std::uint64_t n = row.size();
       const auto* p = reinterpret_cast<const std::byte*>(&n);
       flat.insert(flat.end(), p, p + sizeof(n));
       flat.insert(flat.end(), row.begin(), row.end());
+    };
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) {
+        appendRow(mine);
+        continue;
+      }
+      Message m = recvMsg(r, tag);
+      appendRow(m.payload);
+      releasePayload(std::move(m.payload));
     }
+  } else {
+    sendBytes(root, tag, mine);
   }
   bcastBytes(flat, root);
-  if (localRank_ == root) return rows;
+  return flat;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgatherBytes(
+    std::span<const std::byte> mine) {
+  const std::vector<std::byte> flat = allgatherFlat(mine);
   std::vector<std::vector<std::byte>> out(static_cast<size_t>(size()));
-  size_t pos = 0;
-  for (int r = 0; r < size(); ++r) {
-    MC_CHECK(pos + sizeof(std::uint64_t) <= flat.size());
-    std::uint64_t n = 0;
-    std::memcpy(&n, flat.data() + pos, sizeof(n));
-    pos += sizeof(n);
-    MC_CHECK(pos + n <= flat.size());
-    out[static_cast<size_t>(r)].assign(flat.begin() + static_cast<long>(pos),
-                                       flat.begin() + static_cast<long>(pos + n));
-    pos += n;
-  }
+  forEachFlatRow(flat, [&](int r, std::span<const std::byte> row) {
+    out[static_cast<size_t>(r)].assign(row.begin(), row.end());
+  });
   return out;
 }
 

@@ -24,6 +24,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "transport/buffer_pool.h"
 #include "transport/mailbox.h"
 #include "transport/message.h"
 #include "transport/netmodel.h"
@@ -47,6 +48,7 @@ struct WorldState {
   std::vector<int> localRankOf;  // global rank -> rank within program
   MailboxTable mail;
   NetworkModel net;
+  BufferPool pool;  // shared payload recycler (payloads cross threads)
   double recvTimeoutSeconds;
 
   WorldState(std::vector<ProgramInfo> progs, std::vector<int> progOf,
@@ -61,12 +63,21 @@ struct WorldState {
 };
 
 /// Per-Comm traffic counters, used by tests to verify the message-count
-/// invariants the paper states (at most one message per processor pair).
+/// invariants the paper states (at most one message per processor pair),
+/// and — via bytesCopied / allocations — to observe the zero-copy executor
+/// path: in steady state a schedule run performs no transport-layer payload
+/// copies and no payload heap allocations.
 struct TrafficStats {
   std::uint64_t messagesSent = 0;
   std::uint64_t bytesSent = 0;
   std::uint64_t messagesReceived = 0;
   std::uint64_t bytesReceived = 0;
+  /// Payload bytes memcpy'd *inside the transport* (copying sends, vector
+  /// receives).  The zero-copy move-send / payload-view paths add nothing.
+  std::uint64_t bytesCopied = 0;
+  /// Payload buffers heap-allocated on behalf of this rank (copying sends,
+  /// vector receives, and BufferPool misses).  Pool hits add nothing.
+  std::uint64_t allocations = 0;
 };
 
 class Comm {
@@ -139,8 +150,17 @@ class Comm {
 
   // --- point to point (program scope; ranks are program-local) -------------
   void sendBytes(int dst, int tag, std::span<const std::byte> data);
+  /// Zero-copy send: the buffer is *moved* into the Message — no payload
+  /// copy, no allocation.  The steady-state path of sched::Executor.
+  void sendBytes(int dst, int tag, std::vector<std::byte>&& data);
   /// Blocking receive; src may be kAnySource, tag may be kAnyTag.
   Message recvMsg(int src, int tag);
+  /// Blocking receive matching any rank of program `prog` (which may be the
+  /// calling program) with tag `tag`.  Unlike a bare kAnySource match, the
+  /// wildcard is scoped to that program's global-rank range, so same-tag
+  /// traffic from other programs can never be stolen.  This is the
+  /// arrival-order drain primitive of sched::Executor.
+  Message recvMsgAnyOf(int prog, int tag);
   /// Non-blocking probe (MPI_Iprobe-like): true when a matching message is
   /// already queued.  Does not consume the message or advance the clock.
   bool probe(int src, int tag);
@@ -148,7 +168,27 @@ class Comm {
   // --- point to point across programs --------------------------------------
   void sendBytesTo(int prog, int rankInProg, int tag,
                    std::span<const std::byte> data);
+  /// Zero-copy variant (buffer moved into the Message).
+  void sendBytesTo(int prog, int rankInProg, int tag,
+                   std::vector<std::byte>&& data);
   Message recvMsgFrom(int prog, int rankInProg, int tag);
+
+  // --- pooled payload buffers ----------------------------------------------
+  /// A payload buffer with size() == nbytes from the world's BufferPool
+  /// (class-rounded capacity).  Counts an allocation only on a pool miss;
+  /// pass the filled buffer to the move overload of sendBytes for an
+  /// allocation-free, copy-free send.
+  std::vector<std::byte> acquirePayload(std::size_t nbytes) {
+    bool fresh = false;
+    std::vector<std::byte> buf = world_->pool.acquire(nbytes, &fresh);
+    if (fresh) ++stats_.allocations;
+    return buf;
+  }
+  /// Recycles a payload buffer (typically a received Message's) so a later
+  /// acquirePayload — on any rank — reuses its capacity.
+  void releasePayload(std::vector<std::byte>&& buf) {
+    world_->pool.release(std::move(buf));
+  }
 
   // --- typed convenience ----------------------------------------------------
   template <typename T>
@@ -172,6 +212,24 @@ class Comm {
       *srcOut = world_->localRankOf[static_cast<size_t>(m.srcGlobal)];
     }
     return unpackVector<T>(m);
+  }
+  /// Receives directly into caller storage: one memcpy, no intermediate
+  /// vector, and the payload buffer recycles through the pool.  The message
+  /// must carry exactly out.size_bytes() bytes.  Returns the source rank.
+  template <typename T>
+  int recvInto(int src, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = recvMsg(src, tag);
+    MC_REQUIRE(m.payload.size() == out.size_bytes(),
+               "recvInto size mismatch: message %zu bytes, buffer %zu",
+               m.payload.size(), out.size_bytes());
+    if (!m.payload.empty()) {
+      std::memcpy(out.data(), m.payload.data(), m.payload.size());
+      stats_.bytesCopied += m.payload.size();
+    }
+    const int r = world_->localRankOf[static_cast<size_t>(m.srcGlobal)];
+    releasePayload(std::move(m.payload));
+    return r;
   }
   template <typename T>
   T recvValue(int src, int tag) {
@@ -250,7 +308,24 @@ class Comm {
   }
   template <typename T>
   std::vector<std::vector<T>> allgather(std::span<const T> mine) {
-    return typedBuffers<T>(allgatherBytes(std::as_bytes(mine)));
+    static_assert(std::is_trivially_copyable_v<T>);
+    // Parse typed rows straight out of the size-prefixed flat buffer —
+    // one copy per row, instead of the byte-rows round trip (flat -> byte
+    // rows -> typed rows) the generic allgatherBytes + typedBuffers pair
+    // would pay.
+    const std::vector<std::byte> flat = allgatherFlat(std::as_bytes(mine));
+    std::vector<std::vector<T>> out(static_cast<size_t>(size()));
+    forEachFlatRow(flat, [&](int r, std::span<const std::byte> row) {
+      MC_CHECK(row.size() % sizeof(T) == 0);
+      auto& dst = out[static_cast<size_t>(r)];
+      dst.resize(row.size() / sizeof(T));
+      if (!row.empty()) {
+        std::memcpy(dst.data(), row.data(), row.size());
+        stats_.bytesCopied += row.size();
+        ++stats_.allocations;
+      }
+    });
+    return out;
   }
   template <typename T>
   std::vector<T> allgatherValue(const T& v) {
@@ -307,18 +382,20 @@ class Comm {
 
  private:
   template <typename T>
-  static std::vector<T> unpackVector(const Message& m) {
+  std::vector<T> unpackVector(const Message& m) {
     MC_REQUIRE(m.payload.size() % sizeof(T) == 0,
                "message size %zu not a multiple of element size %zu",
                m.payload.size(), sizeof(T));
     std::vector<T> out(m.payload.size() / sizeof(T));
     if (!out.empty()) {
       std::memcpy(out.data(), m.payload.data(), m.payload.size());
+      stats_.bytesCopied += m.payload.size();
+      ++stats_.allocations;
     }
     return out;
   }
   template <typename T>
-  static std::vector<std::vector<T>> typedBuffers(
+  std::vector<std::vector<T>> typedBuffers(
       std::vector<std::vector<std::byte>> raw) {
     std::vector<std::vector<T>> out(raw.size());
     for (size_t i = 0; i < raw.size(); ++i) {
@@ -326,13 +403,38 @@ class Comm {
       out[i].resize(raw[i].size() / sizeof(T));
       if (!raw[i].empty()) {
         std::memcpy(out[i].data(), raw[i].data(), raw[i].size());
+        stats_.bytesCopied += raw[i].size();
+        ++stats_.allocations;
       }
     }
     return out;
   }
 
+  /// The single gather + flatten behind allgatherBytes / allgather<T>:
+  /// every rank ends up with [u64 size][bytes] per rank, in rank order.
+  std::vector<std::byte> allgatherFlat(std::span<const std::byte> mine);
+  /// Walks the rows of an allgatherFlat buffer: fn(rank, row bytes).
+  template <typename F>
+  void forEachFlatRow(std::span<const std::byte> flat, F&& fn) {
+    size_t pos = 0;
+    for (int r = 0; r < size(); ++r) {
+      MC_CHECK(pos + sizeof(std::uint64_t) <= flat.size());
+      std::uint64_t n = 0;
+      std::memcpy(&n, flat.data() + pos, sizeof(n));
+      pos += sizeof(n);
+      MC_CHECK(pos + n <= flat.size());
+      fn(r, flat.subspan(pos, static_cast<size_t>(n)));
+      pos += static_cast<size_t>(n);
+    }
+    MC_CHECK(pos == flat.size());
+  }
+
   void sendGlobal(int dstGlobal, int tag, std::span<const std::byte> data);
+  void sendGlobal(int dstGlobal, int tag, std::vector<std::byte>&& data);
+  void finishSend(int dstGlobal, int tag, Message&& msg);
   Message recvGlobal(int srcGlobal, int tag);
+  Message recvGlobalRange(int srcLo, int srcHi, int tag);
+  Message finishRecv(Message m);
   int collectiveTag() {
     return kCollectiveTagBase + (collectiveSeq_++ % kCollectiveTagRange);
   }

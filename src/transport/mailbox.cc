@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 namespace mc::transport {
 
@@ -22,6 +23,14 @@ void MailboxTable::deliver(int dst, Message msg) {
 
 Message MailboxTable::receive(int dst, int src, int tag,
                               double timeoutSeconds) {
+  return src == kAnySource
+             ? receiveRange(dst, 0, std::numeric_limits<int>::max(), tag,
+                            timeoutSeconds)
+             : receiveRange(dst, src, src, tag, timeoutSeconds);
+}
+
+Message MailboxTable::receiveRange(int dst, int srcLo, int srcHi, int tag,
+                                   double timeoutSeconds) {
   Box& box = *boxes_.at(static_cast<size_t>(dst));
   std::unique_lock<std::mutex> lock(box.mutex);
   const auto deadline = std::chrono::steady_clock::now() +
@@ -36,7 +45,7 @@ Message MailboxTable::receive(int dst, int src, int tag,
     // clock simply maxes with whatever arrival it sees.)
     auto best = box.queue.end();
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (matches(*it, src, tag)) {
+      if (matchesRange(*it, srcLo, srcHi, tag)) {
         best = it;
         break;
       }
@@ -56,8 +65,8 @@ Message MailboxTable::receive(int dst, int src, int tag,
     if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
       throw Error(strprintf(
           "transport deadlock guard: rank %d timed out waiting for a message "
-          "(src=%d tag=%d)",
-          dst, src, tag));
+          "(src=[%d,%d] tag=%d)",
+          dst, srcLo, srcHi, tag));
     }
   }
 }

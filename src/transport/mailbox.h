@@ -35,6 +35,14 @@ class MailboxTable {
   /// `timeoutSeconds` of wall-clock inactivity (deadlock guard for tests).
   Message receive(int dst, int src, int tag, double timeoutSeconds);
 
+  /// Range-source receive: matches any message whose source global rank
+  /// lies in [srcLo, srcHi] (inclusive) with a matching tag.  This is how
+  /// arrival-order schedule drains scope an any-source match to one
+  /// program's rank range, so wildcard receives can never steal another
+  /// program's same-tag traffic.
+  Message receiveRange(int dst, int srcLo, int srcHi, int tag,
+                       double timeoutSeconds);
+
   /// Returns true if a matching message is queued (non-blocking probe).
   bool probe(int dst, int src, int tag);
 
@@ -51,6 +59,10 @@ class MailboxTable {
 
   bool matches(const Message& m, int src, int tag) const {
     return (src == kAnySource || m.srcGlobal == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+  bool matchesRange(const Message& m, int srcLo, int srcHi, int tag) const {
+    return m.srcGlobal >= srcLo && m.srcGlobal <= srcHi &&
            (tag == kAnyTag || m.tag == tag);
   }
 

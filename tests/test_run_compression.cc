@@ -7,7 +7,7 @@
 #include <numeric>
 
 #include "sched/run_plan.h"
-#include "sched/schedule.h"
+#include "sched/executor.h"
 #include "transport/world.h"
 #include "util/rng.h"
 

@@ -2,7 +2,7 @@
 // worlds, failure injection into schedule execution, and traffic accounting.
 #include <gtest/gtest.h>
 
-#include "sched/schedule.h"
+#include "sched/executor.h"
 #include "transport/world.h"
 
 namespace mc::transport {

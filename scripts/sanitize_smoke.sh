@@ -1,15 +1,41 @@
 #!/usr/bin/env bash
-# Builds the asan-ubsan preset and runs the schedule-cache / run-compression
-# test suite (plus the randomized copy fuzzer) under
-# AddressSanitizer + UndefinedBehaviorSanitizer.
+# Builds a sanitizer preset and runs a slice of the test suite under it.
 #
-# Usage: scripts/sanitize_smoke.sh [extra ctest -R regex]
+# Default preset is asan-ubsan with the schedule-cache / run-compression
+# suite (plus the randomized copy fuzzer).  Pass --preset=tsan to run the
+# ThreadSanitizer build instead; its default filter is the transport /
+# executor / split-phase suites, where the cross-thread mailbox traffic
+# lives.
+#
+# Usage: scripts/sanitize_smoke.sh [--preset=asan-ubsan|tsan] [extra ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake --preset asan-ubsan
-cmake --build --preset asan-ubsan -j "$(nproc)"
+PRESET=asan-ubsan
+if [[ "${1:-}" == --preset=* ]]; then
+  PRESET="${1#--preset=}"
+  shift
+fi
 
-FILTER="${1:-test_run_compression|test_schedule_cache|test_schedule_invariants|test_fuzz_copy}"
+case "$PRESET" in
+  asan-ubsan)
+    BUILD_DIR=build-asan
+    DEFAULT_FILTER="test_run_compression|test_schedule_cache|test_schedule_invariants|test_fuzz_copy"
+    ;;
+  tsan)
+    BUILD_DIR=build-tsan
+    DEFAULT_FILTER="test_transport|test_transport_extra|test_executor|test_split_phase"
+    ;;
+  *)
+    echo "unknown preset: $PRESET (expected asan-ubsan or tsan)" >&2
+    exit 2
+    ;;
+esac
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "$(nproc)"
+
+FILTER="${1:-$DEFAULT_FILTER}"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
-  ctest --test-dir build-asan -R "$FILTER" --output-on-failure -j 2
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir "$BUILD_DIR" -R "$FILTER" --output-on-failure -j 2

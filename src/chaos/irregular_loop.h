@@ -12,6 +12,7 @@
 // back to their owners.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 
 #include "chaos/localize.h"
@@ -35,6 +36,19 @@ class EdgeSweep {
     refs.insert(refs.end(), ib.begin(), ib.end());
     loc_ = localize(comm, table, refs);
     ownedCount_ = table.localCount(comm.rank());
+    // Classify edges once (inspector side): an *interior* edge has both
+    // endpoints owned, so it reads neither gathered ghost value — the
+    // executor computes interior edges while the gather is in flight and
+    // defers the rest to after finish.
+    comm_->compute([&] {
+      for (layout::Index e = 0; e < nLocalEdges_; ++e) {
+        const layout::Index a = loc_.localIndices[static_cast<size_t>(e)];
+        const layout::Index b =
+            loc_.localIndices[static_cast<size_t>(e + nLocalEdges_)];
+        (a < ownedCount_ && b < ownedCount_ ? interiorEdges_ : boundaryEdges_)
+            .push_back(e);
+      }
+    });
   }
 
   const Localized& localized() const { return loc_; }
@@ -43,6 +57,14 @@ class EdgeSweep {
   /// executors bind lazily on the first sweep and persist across sweeps, so
   /// steady-state iterations reuse their message buffers (zero payload
   /// copies / allocations; see sched::Executor).
+  ///
+  /// Split-phase overlap: the gather *starts*, the interior edges (both
+  /// endpoints owned — they read no gathered value) run in chunks with a
+  /// poll between chunks, then the gather finishes and the boundary edges
+  /// run.  Edges apply in a fixed order (interior in edge order, then
+  /// boundary in edge order), so results are deterministic run to run; the
+  /// order differs from the plain e=0..N loop, so sums may differ from it
+  /// by floating-point reassociation only.
   void run(IrregArray<T>& x, IrregArray<T>& y) {
     MC_REQUIRE(x.localCount() == ownedCount_ && y.localCount() == ownedCount_,
                "x/y do not match the inspected distribution");
@@ -52,10 +74,29 @@ class EdgeSweep {
     }
     xGhost_.assign(static_cast<size_t>(loc_.ghostCount), T{});
     yGhost_.assign(static_cast<size_t>(loc_.ghostCount), T{});
-    gatherExec_->run(x.raw(), xGhost_);
+    auto pending = gatherExec_->start(x.raw());
+    const auto& li = loc_.localIndices;
+    const std::span<const T> xo = x.raw();
+    const std::span<T> yo = y.raw();
+    constexpr std::size_t kChunk = 4096;  // edges per poll
+    for (std::size_t at = 0; at < interiorEdges_.size(); at += kChunk) {
+      const std::size_t end = std::min(interiorEdges_.size(), at + kChunk);
+      comm_->compute([&] {
+        for (std::size_t k = at; k < end; ++k) {
+          const layout::Index e = interiorEdges_[k];
+          const layout::Index a = li[static_cast<size_t>(e)];
+          const layout::Index b = li[static_cast<size_t>(e + nLocalEdges_)];
+          const T contrib = (xo[static_cast<size_t>(a)] +
+                             xo[static_cast<size_t>(b)]) / T{4};
+          yo[static_cast<size_t>(a)] += contrib;
+          yo[static_cast<size_t>(b)] += contrib;
+        }
+      });
+      pending.poll();
+    }
+    pending.finish(xGhost_);
     comm_->compute([&] {
-      const auto& li = loc_.localIndices;
-      for (layout::Index e = 0; e < nLocalEdges_; ++e) {
+      for (const layout::Index e : boundaryEdges_) {
         const layout::Index a = li[static_cast<size_t>(e)];
         const layout::Index b = li[static_cast<size_t>(e + nLocalEdges_)];
         const T contrib = (valueAt(x, a) + valueAt(x, b)) / T{4};
@@ -84,6 +125,8 @@ class EdgeSweep {
   layout::Index nLocalEdges_ = 0;
   layout::Index ownedCount_ = 0;
   Localized loc_;
+  std::vector<layout::Index> interiorEdges_;  // both endpoints owned
+  std::vector<layout::Index> boundaryEdges_;  // at least one ghost endpoint
   // Bound lazily on the first run() against loc_'s schedules; do not move
   // an EdgeSweep after sweeping it (the executors point into loc_).
   std::optional<sched::Executor<T>> gatherExec_;

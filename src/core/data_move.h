@@ -11,6 +11,12 @@
 //   * dataMoveSend    — source half of an inter-program move; the remote
 //                       program concurrently calls dataMoveRecv.
 //   * dataMoveRecv    — destination half.
+//   * dataMoveBegin / dataMoveEnd — split-phase form of dataMove: Begin
+//                       posts the sends and returns a PendingMove the
+//                       caller can poll() while computing away from the
+//                       schedule's destination footprint; End drains the
+//                       rest and unpacks.  Results are bitwise identical
+//                       to dataMove.
 //
 // All three are collective over the program(s) involved: every processor
 // must call them, even processors with nothing to transfer, so that
@@ -22,6 +28,9 @@
 // the inter-program halves) and run it per step, keeping its persistent
 // pack buffers.
 #pragma once
+
+#include <memory>
+#include <optional>
 
 #include "core/schedule_builder.h"
 #include "sched/executor.h"
@@ -35,6 +44,50 @@ void dataMove(transport::Comm& comm, const McSchedule& sched,
              "inter-program schedules need dataMoveSend/dataMoveRecv");
   const int tag = comm.nextUserTag();
   sched::execute<T>(comm, sched.plan, src, dst, tag);
+}
+
+/// A split-phase dataMove in flight: owns the bound executor plus the
+/// pending handle.  Move-only.  Call finish(dst) (or dataMoveEnd) exactly
+/// once; a PendingMove dropped without finishing cancels cleanly (drains
+/// and discards the exchange's messages).  The schedule must outlive the
+/// PendingMove.
+template <typename T>
+class PendingMove {
+ public:
+  PendingMove(transport::Comm& comm, const McSchedule& sched,
+              std::span<const T> src, int tag)
+      : exec_(std::make_unique<sched::Executor<T>>(comm, sched.plan)) {
+    pending_.emplace(exec_->start(src, tag));
+  }
+  PendingMove(PendingMove&&) noexcept = default;
+
+  /// Non-blocking drain of already-arrived messages; true when all are in.
+  bool poll() { return pending_->poll(); }
+  bool done() const { return pending_->done(); }
+  /// Drains the rest, applies local transfers, unpacks into dst.
+  void finish(std::span<T> dst) { pending_->finish(dst); }
+  /// Offsets the move touches (see sched/footprint.h for the contract on
+  /// what the caller may compute between begin and end).
+  const sched::Footprint& footprint() const { return exec_->footprint(); }
+
+ private:
+  std::unique_ptr<sched::Executor<T>> exec_;  // stable address for pending_
+  std::optional<typename sched::Executor<T>::Pending> pending_;
+};
+
+/// Starts a split-phase intra-program move; pair with dataMoveEnd.
+/// Collective (every processor begins and ends in the same order).
+template <typename T>
+PendingMove<T> dataMoveBegin(transport::Comm& comm, const McSchedule& sched,
+                             std::span<const T> src) {
+  MC_REQUIRE(sched.remoteProgram < 0,
+             "inter-program schedules need dataMoveSend/dataMoveRecv");
+  return PendingMove<T>(comm, sched, src, comm.nextUserTag());
+}
+
+template <typename T>
+void dataMoveEnd(PendingMove<T>& move, std::span<T> dst) {
+  move.finish(dst);
 }
 
 template <typename T>

@@ -114,6 +114,19 @@ void MC_DataMove(transport::Comm& comm, SchedId sched, std::span<const T> src,
                  std::span<T> dst) {
   core::dataMove<T>(comm, MC_GetSched(sched), src, dst);
 }
+/// Split-phase form of MC_DataMove: Begin posts the sends and returns the
+/// in-flight move; poll() it while computing away from its footprint(),
+/// then MC_DataMoveEnd (or .finish) unpacks into dst.  Bitwise identical
+/// to MC_DataMove.  The schedule handle must stay alive until End.
+template <typename T>
+core::PendingMove<T> MC_DataMoveBegin(transport::Comm& comm, SchedId sched,
+                                      std::span<const T> src) {
+  return core::dataMoveBegin<T>(comm, MC_GetSched(sched), src);
+}
+template <typename T>
+void MC_DataMoveEnd(core::PendingMove<T>& move, std::span<T> dst) {
+  core::dataMoveEnd<T>(move, dst);
+}
 template <typename T>
 void MC_DataMoveSend(transport::Comm& comm, SchedId sched,
                      std::span<const T> src) {

@@ -4,14 +4,27 @@
 // The matrix is distributed (BLOCK, *) — rows blocked over all processors,
 // columns on-processor — and the operand/result vectors are BLOCK
 // distributed.  One multiply is:
-//   1. allgather the operand vector (internal communication that grows with
-//      the processor count — the reason the paper's HPF server stops
+//   1. assemble the full operand vector (internal communication that grows
+//      with the processor count — the reason the paper's HPF server stops
 //      speeding up beyond 8 processes),
 //   2. local dense dgemv over the owned row block,
 //   3. the result vector is naturally BLOCK distributed by rows.
+//
+// The assembly is a split-phase overlap pipeline (MatvecEngine): each
+// processor *starts* a direct peer exchange of operand blocks, computes the
+// partial product over its locally owned columns while the blocks are in
+// flight (polling between row chunks), then finishes the exchange and
+// accumulates the remote columns in ascending column order — deterministic
+// regardless of message arrival.  Sums reassociate (owned columns first),
+// so results may differ from a straight c=0..n-1 loop by floating-point
+// rounding only.
 #pragma once
 
+#include <optional>
+#include <utility>
+
 #include "hpfrt/hpf_array.h"
+#include "sched/executor.h"
 
 namespace mc::hpfrt {
 
@@ -26,46 +39,153 @@ inline HpfDist matvecVectorDist(layout::Index n, int nprocs) {
                  {DimDist{DistKind::kBlock, nprocs, 1}});
 }
 
-/// y = A * x (collective).  A must be (BLOCK, *) and x, y BLOCK with the
-/// same processor count; y's distribution must match A's row distribution.
+/// Persistent split-phase matvec executor for the server's steady-state
+/// loop (many multiplies against one operand distribution).  The inspector
+/// side — the operand-assembly schedule (one block exchange per peer pair)
+/// and the owned/remote column classification — runs once at construction;
+/// every multiply() then overlaps the exchange with the owned-column
+/// partial product and reuses its message buffers (zero steady-state
+/// payload copies or allocations; see sched::Executor).
 template <typename T>
-void matvec(const HpfArray<T>& A, const HpfArray<T>& x, HpfArray<T>& y) {
-  transport::Comm& comm = A.comm();
-  MC_REQUIRE(A.globalShape().rank == 2 && x.globalShape().rank == 1 &&
-             y.globalShape().rank == 1);
-  const layout::Index n = A.globalShape()[1];
-  MC_REQUIRE(x.globalShape()[0] == n &&
-             y.globalShape()[0] == A.globalShape()[0]);
-  MC_REQUIRE(A.dist().dims()[1].procs == 1,
-             "matvec requires a (BLOCK, *) matrix distribution");
-
-  // Step 1: assemble the full operand vector (allgather).
-  auto rows = comm.allgather<T>(x.raw());
-  std::vector<T> full(static_cast<size_t>(n));
-  for (int proc = 0; proc < comm.size(); ++proc) {
-    x.dist().forEachOwned(proc, [&](const layout::Point& p, layout::Index off) {
-      full[static_cast<size_t>(p[0])] =
-          rows[static_cast<size_t>(proc)][static_cast<size_t>(off)];
+class MatvecEngine {
+ public:
+  /// Collective.  `x` fixes the operand distribution; later multiplies
+  /// must pass an operand with this same distribution.
+  explicit MatvecEngine(const HpfArray<T>& x)
+      : comm_(&x.comm()), n_(x.globalShape()[0]) {
+    MC_REQUIRE(x.globalShape().rank == 1, "matvec operand must be 1-D");
+    transport::Comm& comm = *comm_;
+    comm.compute([&] {
+      const int np = comm.size();
+      const int me = comm.rank();
+      // (local offset, global index) of every processor's owned elements,
+      // in ascending local-offset order — the pack/unpack order both sides
+      // derive from the replicated distribution.
+      std::vector<std::vector<std::pair<layout::Index, layout::Index>>>
+          owned(static_cast<size_t>(np));
+      for (int p = 0; p < np; ++p) {
+        x.dist().forEachOwned(
+            p, [&](const layout::Point& pt, layout::Index off) {
+              owned[static_cast<size_t>(p)].emplace_back(off, pt[0]);
+            });
+        std::sort(owned[static_cast<size_t>(p)].begin(),
+                  owned[static_cast<size_t>(p)].end());
+      }
+      const auto& mine = owned[static_cast<size_t>(me)];
+      for (int p = 0; p < np; ++p) {
+        if (p == me || owned[static_cast<size_t>(p)].empty()) continue;
+        sched::OffsetPlan plan;
+        plan.peer = p;
+        plan.offsets.reserve(owned[static_cast<size_t>(p)].size());
+        for (const auto& [off, g] : owned[static_cast<size_t>(p)]) {
+          plan.offsets.push_back(g);  // unpack straight into `full`
+        }
+        sched_.recvs.push_back(std::move(plan));
+      }
+      if (!mine.empty()) {
+        std::vector<layout::Index> mySrc;
+        mySrc.reserve(mine.size());
+        for (const auto& [off, g] : mine) mySrc.push_back(off);
+        for (int p = 0; p < np; ++p) {
+          if (p == me) continue;
+          sched_.sends.push_back(sched::OffsetPlan{p, mySrc, {}});
+        }
+      }
+      sched_.bufferLocalCopies = false;
+      sched_.compress();
+      // Owned columns (ascending global) for the overlapped partial
+      // product, and the complementary remote column ranges for the finish
+      // pass.
+      ownCols_.reserve(mine.size());
+      for (const auto& [off, g] : mine) ownCols_.emplace_back(g, off);
+      std::sort(ownCols_.begin(), ownCols_.end());
+      layout::Index at = 0;
+      for (const auto& [g, off] : ownCols_) {
+        if (at < g) remoteRanges_.emplace_back(at, g);
+        at = g + 1;
+      }
+      if (at < n_) remoteRanges_.emplace_back(at, n_);
     });
   }
 
-  // Step 2: local dgemv over the owned row block.
-  comm.compute([&] {
+  /// y = A * x (collective); see matvec() below for the shape contract.
+  void multiply(const HpfArray<T>& A, const HpfArray<T>& x, HpfArray<T>& y) {
+    transport::Comm& comm = *comm_;
+    MC_REQUIRE(A.globalShape().rank == 2 && x.globalShape().rank == 1 &&
+               y.globalShape().rank == 1);
+    MC_REQUIRE(A.globalShape()[1] == n_ && x.globalShape()[0] == n_ &&
+               y.globalShape()[0] == A.globalShape()[0]);
+    MC_REQUIRE(A.dist().dims()[1].procs == 1,
+               "matvec requires a (BLOCK, *) matrix distribution");
     const layout::Shape localA = A.dist().localShape(comm.rank());
     const layout::Index myRows = localA[0];
     const std::span<const T> a = A.raw();
+    const std::span<const T> xo = x.raw();
     const std::span<T> out = y.raw();
     MC_REQUIRE(static_cast<layout::Index>(out.size()) == myRows,
                "y's distribution does not match A's row distribution");
-    for (layout::Index r = 0; r < myRows; ++r) {
-      T acc{};
-      const size_t rowBase = static_cast<size_t>(r * n);
-      for (layout::Index c = 0; c < n; ++c) {
-        acc += a[rowBase + static_cast<size_t>(c)] * full[static_cast<size_t>(c)];
-      }
-      out[static_cast<size_t>(r)] = acc;
+    if (!exec_) exec_.emplace(comm, sched_);
+    full_.resize(static_cast<size_t>(n_));
+
+    // Phase 1: start the operand exchange, then the partial product over
+    // the owned columns (their x values are already on hand), polling the
+    // exchange between row chunks so arrived blocks are consumed under the
+    // compute.
+    auto pending = exec_->start(x.raw());
+    constexpr layout::Index kRowChunk = 32;
+    for (layout::Index r0 = 0; r0 < myRows; r0 += kRowChunk) {
+      const layout::Index r1 = std::min(myRows, r0 + kRowChunk);
+      comm.compute([&] {
+        for (layout::Index r = r0; r < r1; ++r) {
+          T acc{};
+          const size_t rowBase = static_cast<size_t>(r * n_);
+          for (const auto& [g, off] : ownCols_) {
+            acc += a[rowBase + static_cast<size_t>(g)] *
+                   xo[static_cast<size_t>(off)];
+          }
+          out[static_cast<size_t>(r)] = acc;
+        }
+      });
+      pending.poll();
     }
-  });
+    pending.finish(full_);
+
+    // Phase 2: the remote columns, in ascending column order —
+    // deterministic regardless of arrival order.
+    comm.compute([&] {
+      for (layout::Index r = 0; r < myRows; ++r) {
+        T acc = out[static_cast<size_t>(r)];
+        const size_t rowBase = static_cast<size_t>(r * n_);
+        for (const auto& [lo, hi] : remoteRanges_) {
+          for (layout::Index c = lo; c < hi; ++c) {
+            acc += a[rowBase + static_cast<size_t>(c)] *
+                   full_[static_cast<size_t>(c)];
+          }
+        }
+        out[static_cast<size_t>(r)] = acc;
+      }
+    });
+  }
+
+ private:
+  transport::Comm* comm_;
+  layout::Index n_;
+  sched::Schedule sched_;  // operand-block exchange (no local transfers)
+  std::vector<std::pair<layout::Index, layout::Index>> ownCols_;  // (global, off)
+  std::vector<std::pair<layout::Index, layout::Index>> remoteRanges_;  // [lo,hi)
+  // Bound lazily on the first multiply; do not move an engine after that
+  // (the executor points into sched_).
+  std::optional<sched::Executor<T>> exec_;
+  std::vector<T> full_;  // assembled operand (owned range unused)
+};
+
+/// y = A * x (collective).  A must be (BLOCK, *) and x, y BLOCK with the
+/// same processor count; y's distribution must match A's row distribution.
+/// One-shot form over MatvecEngine — server loops should hold an engine.
+template <typename T>
+void matvec(const HpfArray<T>& A, const HpfArray<T>& x, HpfArray<T>& y) {
+  MatvecEngine<T> engine(x);
+  engine.multiply(A, x, y);
 }
 
 }  // namespace mc::hpfrt

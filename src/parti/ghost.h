@@ -48,7 +48,15 @@ class GhostExchanger {
   /// One collective ghost fill (src and dst alias the array's storage).
   void exchange() { exec_.run(array_->raw(), array_->raw()); }
 
+  /// Split-phase ghost fill: posts the sends and returns a handle; the
+  /// caller computes away from the footprint (see sched/footprint.h),
+  /// polls, and finishes with finish(array().raw()).
+  typename Executor<T>::Pending startExchange() {
+    return exec_.start(array_->raw());
+  }
+
   const Schedule& schedule() const { return exec_.schedule(); }
+  Executor<T>& executor() { return exec_; }
 
  private:
   BlockDistArray<T>* array_;

@@ -4,53 +4,148 @@
 //   forall (i = 2:n1-1, j = 2:n2-1)
 //     a(i,j) = a(i,j-1) + a(i-1,j) + a(i+1,j) + a(i,j+1)
 //
-// i.e. a Jacobi-style 4-point update over the interior.  The executor
-// exchanges ghost cells, then updates owned interior points from the *old*
-// values (forall semantics), using a scratch copy of the local block.
+// i.e. a Jacobi-style 4-point update over the interior.  The sweep is a
+// split-phase overlap pipeline: it snapshots the local block, *starts* the
+// ghost exchange, computes every interior point whose reads and write avoid
+// the exchange's footprint while messages are in flight (polling the
+// exchange between rows), then finishes the exchange and computes the
+// deferred boundary-adjacent points.  Results are bitwise identical to the
+// old exchange-then-sweep ordering: a point's inputs come from the scratch
+// snapshot, which is refreshed at exactly the exchange-touched offsets
+// after finish, so every point reads the same values either way.
 #pragma once
 
 #include "parti/ghost.h"
 
 namespace mc::parti {
 
-/// One forall sweep of the 4-point stencil over the interior of `a`
-/// (2-D array with ghost width >= 1).  Collective.
+namespace detail {
+
+/// The overlap pipeline over a bound ghost-fill executor (see file
+/// comment).  `scratch` persists across sweeps to avoid reallocation.
 template <typename T>
-void stencilSweep(BlockDistArray<T>& a, const Schedule& ghostSched,
-                  std::vector<T>& scratch) {
+void stencilSweepOverlapped(BlockDistArray<T>& a, Executor<T>& exec,
+                            std::vector<T>& scratch) {
   MC_REQUIRE(a.globalShape().rank == 2, "stencilSweep expects a 2-D array");
   MC_REQUIRE(a.ghost() >= 1, "stencilSweep needs a ghost width of at least 1");
-  exchangeGhosts(a, ghostSched);
+  transport::Comm& comm = a.comm();
+  const std::span<T> out = a.raw();
 
-  a.comm().compute([&] {
-    const std::span<const T> data = a.raw();
-    scratch.assign(data.begin(), data.end());
-    const layout::RegularSection box = a.ownedBox();
-    if (box.empty()) return;
+  // Snapshot *before* the exchange: owned cells hold the sweep's inputs
+  // already; exchange-touched offsets are refreshed after finish.
+  comm.compute([&] { scratch.assign(out.begin(), out.end()); });
+
+  auto pending = exec.start(a.raw());
+  const sched::IndexSet& touched = exec.footprint().dstTouched;
+  const sched::IndexSet& pinnedSrc = exec.footprint().localSrc;
+
+  const layout::RegularSection box = a.ownedBox();
+  std::vector<layout::Index> deferred;
+  if (!box.empty()) {
     const layout::Shape& global = a.globalShape();
-    const layout::Shape padded =
-        a.desc().paddedShape(a.comm().rank());
+    const layout::Shape padded = a.desc().paddedShape(comm.rank());
     const layout::Index rowStride = padded[1];
-    const std::span<T> out = a.raw();
+    const int g = a.ghost();
     // Interior of the *global* mesh: 1..n-2 in both dimensions.
     const layout::Index iLo = std::max<layout::Index>(box.lo[0], 1);
     const layout::Index iHi = std::min<layout::Index>(box.hi[0], global[0] - 2);
     const layout::Index jLo = std::max<layout::Index>(box.lo[1], 1);
     const layout::Index jHi = std::min<layout::Index>(box.hi[1], global[1] - 2);
-    const int g = a.ghost();
+    const layout::Index ljLo = jLo - box.lo[1] + g;
+    const layout::Index ljHi = jHi - box.lo[1] + g;
+    std::vector<char> defer(
+        static_cast<std::size_t>(std::max<layout::Index>(ljHi - ljLo + 1, 0)));
     for (layout::Index i = iLo; i <= iHi; ++i) {
       const layout::Index li = i - box.lo[0] + g;
-      for (layout::Index j = jLo; j <= jHi; ++j) {
-        const layout::Index lj = j - box.lo[1] + g;
-        const layout::Index c = li * rowStride + lj;
-        out[static_cast<size_t>(c)] =
-            scratch[static_cast<size_t>(c - 1)] +
-            scratch[static_cast<size_t>(c - rowStride)] +
-            scratch[static_cast<size_t>(c + rowStride)] +
-            scratch[static_cast<size_t>(c + 1)];
-      }
+      const layout::Index rowBase = li * rowStride;
+      comm.compute([&] {
+        // A point c defers when any of its four reads (c±1, c∓rowStride)
+        // or c itself lies in the exchange's touched set (its snapshot
+        // value is stale until finish), or when writing c would clobber a
+        // local-copy source the finish still reads.
+        std::fill(defer.begin(), defer.end(), 0);
+        const auto markCol = [&](layout::Index lj) {
+          if (lj >= ljLo && lj <= ljHi) defer[static_cast<std::size_t>(lj - ljLo)] = 1;
+        };
+        touched.forEachIn(rowBase + ljLo - 1, rowBase + ljHi + 2,
+                          [&](layout::Index off) {
+                            const layout::Index lj = off - rowBase;
+                            markCol(lj - 1);
+                            markCol(lj);
+                            markCol(lj + 1);
+                          });
+        touched.forEachIn(rowBase - rowStride + ljLo,
+                          rowBase - rowStride + ljHi + 1,
+                          [&](layout::Index off) {
+                            markCol(off - (rowBase - rowStride));
+                          });
+        touched.forEachIn(rowBase + rowStride + ljLo,
+                          rowBase + rowStride + ljHi + 1,
+                          [&](layout::Index off) {
+                            markCol(off - (rowBase + rowStride));
+                          });
+        pinnedSrc.forEachIn(rowBase + ljLo, rowBase + ljHi + 1,
+                            [&](layout::Index off) { markCol(off - rowBase); });
+        for (layout::Index lj = ljLo; lj <= ljHi; ++lj) {
+          const layout::Index c = rowBase + lj;
+          if (defer[static_cast<std::size_t>(lj - ljLo)]) {
+            deferred.push_back(c);
+            continue;
+          }
+          out[static_cast<size_t>(c)] =
+              scratch[static_cast<size_t>(c - 1)] +
+              scratch[static_cast<size_t>(c - rowStride)] +
+              scratch[static_cast<size_t>(c + rowStride)] +
+              scratch[static_cast<size_t>(c + 1)];
+        }
+      });
+      // Consume whatever ghost traffic has already arrived; the row's
+      // compute advanced the virtual clock past those arrivals, so the
+      // finish below pays no latency for them.
+      pending.poll();
+    }
+  }
+  pending.finish(a.raw());
+
+  comm.compute([&] {
+    // Refresh the snapshot at exactly the offsets the exchange wrote, then
+    // compute the deferred points — now reading fresh ghost values.
+    touched.forEach([&](layout::Index off) {
+      scratch[static_cast<size_t>(off)] = out[static_cast<size_t>(off)];
+    });
+    const layout::Shape padded = a.desc().paddedShape(comm.rank());
+    const layout::Index rowStride = padded[1];
+    for (const layout::Index c : deferred) {
+      out[static_cast<size_t>(c)] =
+          scratch[static_cast<size_t>(c - 1)] +
+          scratch[static_cast<size_t>(c - rowStride)] +
+          scratch[static_cast<size_t>(c + rowStride)] +
+          scratch[static_cast<size_t>(c + 1)];
     }
   });
+}
+
+}  // namespace detail
+
+/// One forall sweep of the 4-point stencil over the interior of `a`
+/// (2-D array with ghost width >= 1).  Collective.  One-shot form: binds a
+/// temporary executor to `ghostSched`; time-step loops should hold a
+/// GhostExchanger and use the overload below to keep persistent buffers
+/// and the cached footprint.
+template <typename T>
+void stencilSweep(BlockDistArray<T>& a, const Schedule& ghostSched,
+                  std::vector<T>& scratch) {
+  Executor<T> exec(a.comm(), ghostSched);
+  detail::stencilSweepOverlapped(a, exec, scratch);
+}
+
+/// Steady-state form over a persistent GhostExchanger: split-phase ghost
+/// traffic overlaps the interior update every step, with zero transport
+/// payload copies or allocations.
+template <typename T>
+void stencilSweep(BlockDistArray<T>& a, GhostExchanger<T>& ghosts,
+                  std::vector<T>& scratch) {
+  detail::stencilSweepOverlapped(a, ghosts.executor(), scratch);
 }
 
 }  // namespace mc::parti

@@ -34,14 +34,33 @@
 // setDrainOrder(DrainOrder::kPeer) is a debug flag restoring the old
 // peer-ordered receives; data results are identical, only the virtual-clock
 // interleaving (and wall time) differ.
+//
+// Split-phase execution: run() is synchronous — it blocks draining every
+// receive before the caller computes a single point, so per-step time is
+// communication latency *added to* compute.  start() instead posts all
+// sends and returns a Pending handle; the caller computes whatever does not
+// touch the schedule's destination footprint (see footprint.h), calling
+// Pending::poll() now and then to consume messages that have already
+// arrived, and Pending::finish(dst) / finishAdd(dst) to drain the rest,
+// apply local plans, and unpack — communication rides under computation.
+// Unpacks are deferred to finish in *plan order*, so results are bitwise
+// identical to run()/runAdd() under any delivery interleaving (copy unpacks
+// commute; add already applied in peer order).  The buffer-recycling
+// invariant survives: payloads stash by plan slot while pending and recycle
+// into the executor's free list at finish, so steady-state split-phase runs
+// stay zero-copy and allocation-free exactly like run().  A Pending
+// destroyed without finish cancels cleanly: the abandoned exchange's
+// messages are drained and discarded so the next run sees a clean mailbox.
 #pragma once
 
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "sched/footprint.h"
 #include "sched/plan_exec.h"
 #include "sched/schedule.h"
 #include "transport/comm.h"
@@ -129,6 +148,8 @@ class Executor {
   void run(std::span<const T> src, std::span<T> dst, int tag) {
     MC_REQUIRE(remoteProgram_ < 0,
                "inter-program executor: use runSend / runRecv");
+    MC_REQUIRE(!inFlight_,
+               "split-phase run in flight: finish() it before run()");
     sendPhase(src, tag);
     localPhase(src, dst, /*add=*/false);
     drainCopy(dst, tag);
@@ -143,12 +164,107 @@ class Executor {
   void runAdd(std::span<const T> src, std::span<T> dst, int tag) {
     MC_REQUIRE(remoteProgram_ < 0,
                "inter-program executor: use runSend / runRecv");
+    MC_REQUIRE(!inFlight_,
+               "split-phase run in flight: finish() it before runAdd()");
     sendPhase(src, tag);
     localPhase(src, dst, /*add=*/true);
     drainAdd(dst, tag);
   }
   void runAdd(std::span<const T> src, std::span<T> dst) {
     runAdd(src, dst, comm_->nextUserTag());
+  }
+
+  // --- split-phase runs -----------------------------------------------------
+
+  /// A split-phase run in flight (see the file comment).  Move-only; exactly
+  /// one of finish()/finishAdd() must eventually run, or the destructor
+  /// cancels the exchange (drains and discards its messages).
+  class Pending {
+   public:
+    Pending(const Pending&) = delete;
+    Pending& operator=(const Pending&) = delete;
+    Pending(Pending&& other) noexcept : ex_(other.ex_) {
+      other.ex_ = nullptr;
+    }
+    Pending& operator=(Pending&&) = delete;
+    ~Pending() {
+      if (ex_ != nullptr) ex_->cancelPending();
+    }
+
+    /// Opportunistic non-blocking drain: consumes every message that has
+    /// already arrived (stashing the payload — unpacking waits for finish),
+    /// then returns true when all receives are in.  A no-op under
+    /// DrainOrder::kPeer, whose virtual clocks must stay independent of
+    /// wall-clock arrival.
+    bool poll() {
+      requireActive();
+      return ex_->pollPending();
+    }
+
+    /// True when every expected message has been consumed (by poll).
+    bool done() const {
+      requireActive();
+      return ex_->pendingDone();
+    }
+
+    /// Blocks for the remaining messages, applies local transfers from the
+    /// span passed to start(), unpacks everything in plan order, recycles
+    /// payloads.  Result is bitwise identical to run(src, dst, tag).
+    void finish(std::span<T> dst) {
+      requireActive();
+      Executor* ex = ex_;
+      ex_ = nullptr;
+      ex->finishPending(dst, /*add=*/false);
+    }
+
+    /// Accumulating finish; bitwise identical to runAdd(src, dst, tag).
+    void finishAdd(std::span<T> dst) {
+      requireActive();
+      Executor* ex = ex_;
+      ex_ = nullptr;
+      ex->finishPending(dst, /*add=*/true);
+    }
+
+   private:
+    friend class Executor;
+    explicit Pending(Executor* ex) : ex_(ex) {}
+    void requireActive() const {
+      MC_REQUIRE(ex_ != nullptr,
+                 "split-phase handle already finished (or moved from)");
+    }
+
+    Executor* ex_;  // null once finished / moved from
+  };
+
+  /// Posts all sends for one schedule execution and returns without touching
+  /// `dst` — receives, local transfers, and unpacks happen in the returned
+  /// handle's finish()/finishAdd().  Between start and finish the caller may
+  /// compute freely outside footprint().dstTouched (of dst) and
+  /// footprint().localSrc (of src); `src` must stay alive and unmodified at
+  /// those localSrc offsets until finish.  Collective over the program.
+  Pending start(std::span<const T> src, int tag) {
+    MC_REQUIRE(remoteProgram_ < 0,
+               "inter-program executor: use runSend / runRecv");
+    MC_REQUIRE(!inFlight_,
+               "split-phase run already in flight: finish() it first");
+    sendPhase(src, tag);
+    ++runEpoch_;
+    inFlight_ = true;
+    pendingTag_ = tag;
+    pendingSrc_ = src;
+    arrived_ = 0;
+    return Pending(this);
+  }
+  Pending start(std::span<const T> src) {
+    return start(src, comm_->nextUserTag());
+  }
+
+  /// The schedule's destination footprint — which offsets a run touches and
+  /// which are free for overlapped computation.  Built once, on first use
+  /// (one-shot executes never pay for it).
+  const Footprint& footprint() const {
+    if (!footprint_.has_value()) footprint_ = Footprint::of(*sched_);
+    return *footprint_;
   }
 
   // --- inter-program halves -------------------------------------------------
@@ -351,6 +467,80 @@ class Executor {
     }
   }
 
+  // --- split-phase internals ------------------------------------------------
+
+  /// Verifies, sizes, and stashes one drained message by plan slot.
+  void stashMessage(transport::Message&& m) {
+    stash_[slotFor(m)] = std::move(m.payload);
+    ++arrived_;
+  }
+
+  bool pendingDone() const { return arrived_ == sched_->recvs.size(); }
+
+  bool pollPending() {
+    if (drainOrder() == DrainOrder::kPeer) {
+      // kPeer is the deterministic-clock debug mode: consuming messages at
+      // wall-clock-dependent moments would reorder the virtual-clock max
+      // arithmetic, so the opportunistic drain is disabled and every
+      // receive happens in finish, in peer order.
+      return pendingDone();
+    }
+    const int prog = comm_->program();
+    while (!pendingDone()) {
+      std::optional<transport::Message> m =
+          comm_->tryRecvMsgAnyOf(prog, pendingTag_);
+      if (!m.has_value()) break;
+      stashMessage(std::move(*m));
+    }
+    return pendingDone();
+  }
+
+  void finishPending(std::span<T> dst, bool add) {
+    // Drain whatever poll() did not get (blocking).  In kPeer mode nothing
+    // was stashed, so arrived_ walks the plans in peer order exactly as
+    // drainCopy/drainAdd would; in kArrival mode nextMessage ignores it.
+    while (!pendingDone()) stashMessage(nextMessage(arrived_, pendingTag_));
+    localPhase(pendingSrc_, dst, add);
+    // Unpack in plan order: copy unpacks commute (disjoint per-peer
+    // offsets), adds must apply in peer order — either way this is bitwise
+    // identical to the corresponding run()/runAdd().
+    for (std::size_t k = 0; k < sched_->recvs.size(); ++k) {
+      const OffsetPlan& plan = sched_->recvs[k];
+      comm_->compute([&] {
+        const T* payload = reinterpret_cast<const T*>(stash_[k].data());
+        if (add) {
+          unpackPlanAdd<T>(plan, payload, dst);
+        } else {
+          unpackPlan<T>(plan, payload, dst);
+        }
+      });
+      recycle(std::move(stash_[k]));
+      stash_[k] = {};
+    }
+    inFlight_ = false;
+    pendingSrc_ = {};
+  }
+
+  /// Abandoned split-phase run (Pending destroyed without finish): consume
+  /// the exchange's remaining messages so the mailbox and the executor's
+  /// epoch state stay consistent, discard the data, keep the executor
+  /// reusable.  Errors are swallowed — this runs from a destructor, possibly
+  /// unwinding a world abort.
+  void cancelPending() noexcept {
+    try {
+      while (!pendingDone()) stashMessage(nextMessage(arrived_, pendingTag_));
+    } catch (...) {
+      // Aborted world or timeout: leave whatever arrived; the abort tears
+      // the whole run down anyway.
+    }
+    for (std::vector<std::byte>& buf : stash_) {
+      if (buf.capacity() > 0) recycle(std::move(buf));
+      buf = {};
+    }
+    inFlight_ = false;
+    pendingSrc_ = {};
+  }
+
   void drainAdd(std::span<T> dst, int tag) {
     ++runEpoch_;
     // += does not commute across peers hitting the same offset, so take
@@ -384,6 +574,13 @@ class Executor {
   std::vector<std::vector<std::byte>> freeBufs_;  // recycled payloads
   std::vector<std::vector<std::byte>> stash_;     // runAdd deferral slots
   std::vector<T> localStage_;  // persistent Parti local-copy staging
+
+  // Split-phase state (one run may be in flight at a time).
+  bool inFlight_ = false;
+  int pendingTag_ = 0;
+  std::span<const T> pendingSrc_{};  // captured by start, read at finish
+  std::size_t arrived_ = 0;          // messages stashed so far this run
+  mutable std::optional<Footprint> footprint_;  // built on first use
 };
 
 /// Executes `sched` within one program: packs `src` elements, sends at most

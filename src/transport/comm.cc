@@ -1,6 +1,7 @@
 #include "transport/comm.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace mc::transport {
 
@@ -52,13 +53,32 @@ void Comm::finishSend(int dstGlobal, int tag, Message&& msg) {
 }
 
 Message Comm::recvGlobal(int srcGlobal, int tag) {
-  return finishRecv(world_->mail.receive(globalRank_, srcGlobal, tag,
-                                         world_->recvTimeoutSeconds));
+  const auto t0 = std::chrono::steady_clock::now();
+  Message m = world_->mail.receive(globalRank_, srcGlobal, tag,
+                                   world_->recvTimeoutSeconds);
+  stats_.recvWaitSeconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return finishRecv(std::move(m));
 }
 
 Message Comm::recvGlobalRange(int srcLo, int srcHi, int tag) {
-  return finishRecv(world_->mail.receiveRange(globalRank_, srcLo, srcHi, tag,
-                                              world_->recvTimeoutSeconds));
+  const auto t0 = std::chrono::steady_clock::now();
+  Message m = world_->mail.receiveRange(globalRank_, srcLo, srcHi, tag,
+                                        world_->recvTimeoutSeconds);
+  stats_.recvWaitSeconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return finishRecv(std::move(m));
+}
+
+std::optional<Message> Comm::tryRecvGlobalRange(int srcLo, int srcHi,
+                                                int tag) {
+  std::optional<Message> m =
+      world_->mail.tryReceiveRange(globalRank_, srcLo, srcHi, tag);
+  if (!m.has_value()) return std::nullopt;
+  ++stats_.messagesDrainedEarly;
+  return finishRecv(std::move(*m));
 }
 
 Message Comm::finishRecv(Message m) {
@@ -96,10 +116,27 @@ Message Comm::recvMsgAnyOf(int prog, int tag) {
                          info.firstGlobalRank + info.nprocs - 1, tag);
 }
 
+std::optional<Message> Comm::tryRecvMsg(int src, int tag) {
+  const int srcGlobal = globalRankOf(program_, src);
+  return tryRecvGlobalRange(srcGlobal, srcGlobal, tag);
+}
+
+std::optional<Message> Comm::tryRecvMsgAnyOf(int prog, int tag) {
+  const ProgramInfo& info = programInfo(prog);
+  return tryRecvGlobalRange(info.firstGlobalRank,
+                            info.firstGlobalRank + info.nprocs - 1, tag);
+}
+
 bool Comm::probe(int src, int tag) {
   const int srcGlobal =
       (src == kAnySource) ? kAnySource : globalRankOf(program_, src);
   return world_->mail.probe(globalRank_, srcGlobal, tag);
+}
+
+bool Comm::probeAnyOf(int prog, int tag) {
+  const ProgramInfo& info = programInfo(prog);
+  return world_->mail.probeRange(globalRank_, info.firstGlobalRank,
+                                 info.firstGlobalRank + info.nprocs - 1, tag);
 }
 
 void Comm::sendBytesTo(int prog, int rankInProg, int tag,

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -78,6 +79,15 @@ struct TrafficStats {
   /// Payload buffers heap-allocated on behalf of this rank (copying sends,
   /// vector receives, and BufferPool misses).  Pool hits add nothing.
   std::uint64_t allocations = 0;
+  /// Wall-clock seconds this rank spent *blocked* inside mailbox receives
+  /// (cv waits included).  Non-blocking polls add nothing, so split-phase
+  /// overlap shows up here directly: communication hidden behind interior
+  /// computation converts receive wait into (near-)zero.
+  double recvWaitSeconds = 0.0;
+  /// Messages consumed by a non-blocking try-receive (sched::Executor's
+  /// Pending::poll()) — i.e. drained *early*, while the caller was still
+  /// computing, instead of in the blocking finish drain.
+  std::uint64_t messagesDrainedEarly = 0;
 };
 
 class Comm {
@@ -161,9 +171,19 @@ class Comm {
   /// traffic from other programs can never be stolen.  This is the
   /// arrival-order drain primitive of sched::Executor.
   Message recvMsgAnyOf(int prog, int tag);
+  /// Non-blocking recvMsg: returns the queued matching message, or nullopt
+  /// without blocking.  A returned message pays the usual receive clock
+  /// charges and counts toward messagesDrainedEarly.
+  std::optional<Message> tryRecvMsg(int src, int tag);
+  /// Non-blocking recvMsgAnyOf — the opportunistic drain primitive of the
+  /// split-phase executor (Pending::poll()).
+  std::optional<Message> tryRecvMsgAnyOf(int prog, int tag);
   /// Non-blocking probe (MPI_Iprobe-like): true when a matching message is
   /// already queued.  Does not consume the message or advance the clock.
   bool probe(int src, int tag);
+  /// Probe matching any rank of program `prog` (the probe analogue of
+  /// recvMsgAnyOf, scoped to that program's global-rank range).
+  bool probeAnyOf(int prog, int tag);
 
   // --- point to point across programs --------------------------------------
   void sendBytesTo(int prog, int rankInProg, int tag,
@@ -434,6 +454,7 @@ class Comm {
   void finishSend(int dstGlobal, int tag, Message&& msg);
   Message recvGlobal(int srcGlobal, int tag);
   Message recvGlobalRange(int srcLo, int srcHi, int tag);
+  std::optional<Message> tryRecvGlobalRange(int srcLo, int srcHi, int tag);
   Message finishRecv(Message m);
   int collectiveTag() {
     return kCollectiveTagBase + (collectiveSeq_++ % kCollectiveTagRange);

@@ -18,7 +18,11 @@ void MailboxTable::deliver(int dst, Message msg) {
     std::lock_guard<std::mutex> lock(box.mutex);
     box.queue.push_back(std::move(msg));
   }
-  box.cv.notify_all();
+  // Wake only this box's waiter.  Each box belongs to exactly one virtual
+  // processor and that processor is the only thread that ever blocks on it,
+  // so one wakeup suffices; abort() still uses notify_all since it must
+  // reach a waiter regardless of which predicate it is parked on.
+  box.cv.notify_one();
 }
 
 Message MailboxTable::receive(int dst, int src, int tag,
@@ -71,11 +75,43 @@ Message MailboxTable::receiveRange(int dst, int srcLo, int srcHi, int tag,
   }
 }
 
-bool MailboxTable::probe(int dst, int src, int tag) {
+std::optional<Message> MailboxTable::tryReceiveRange(int dst, int srcLo,
+                                                     int srcHi, int tag) {
   Box& box = *boxes_.at(static_cast<size_t>(dst));
   std::lock_guard<std::mutex> lock(box.mutex);
-  return std::any_of(box.queue.begin(), box.queue.end(),
-                     [&](const Message& m) { return matches(m, src, tag); });
+  // Same first-match-in-enqueue-order scan as receiveRange, so a poll
+  // consumes exactly the message a blocking receive would have.
+  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+    if (matchesRange(*it, srcLo, srcHi, tag)) {
+      Message out = std::move(*it);
+      box.queue.erase(it);
+      return out;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> alock(abortMutex_);
+    if (aborted_) {
+      throw Error("transport aborted while rank " + std::to_string(dst) +
+                  " polled for a message: " + abortReason_);
+    }
+  }
+  return std::nullopt;
+}
+
+bool MailboxTable::probe(int dst, int src, int tag) {
+  // Delegate to the range matcher exactly as receive() does, so a probe hit
+  // guarantees the matching receive would not block.
+  return src == kAnySource
+             ? probeRange(dst, 0, std::numeric_limits<int>::max(), tag)
+             : probeRange(dst, src, src, tag);
+}
+
+bool MailboxTable::probeRange(int dst, int srcLo, int srcHi, int tag) {
+  Box& box = *boxes_.at(static_cast<size_t>(dst));
+  std::lock_guard<std::mutex> lock(box.mutex);
+  return std::any_of(box.queue.begin(), box.queue.end(), [&](const Message& m) {
+    return matchesRange(m, srcLo, srcHi, tag);
+  });
 }
 
 void MailboxTable::abort(std::string reason) {

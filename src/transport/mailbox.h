@@ -10,6 +10,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "transport/message.h"
@@ -43,8 +44,23 @@ class MailboxTable {
   Message receiveRange(int dst, int srcLo, int srcHi, int tag,
                        double timeoutSeconds);
 
+  /// Non-blocking receiveRange: removes and returns the first queued message
+  /// matching ([srcLo, srcHi], tag), or nullopt if none is queued yet.  This
+  /// is the opportunistic drain behind sched::Executor's split-phase
+  /// Pending::poll() — a caller computing between start() and finish() can
+  /// consume messages that have already arrived without ever blocking.
+  /// Throws mc::Error if the table has been aborted.
+  std::optional<Message> tryReceiveRange(int dst, int srcLo, int srcHi,
+                                         int tag);
+
   /// Returns true if a matching message is queued (non-blocking probe).
+  /// Matches exactly like receive(): src may be kAnySource, tag kAnyTag.
   bool probe(int dst, int src, int tag);
+
+  /// Range-source probe, matching exactly like receiveRange: true when a
+  /// message whose source global rank lies in [srcLo, srcHi] (inclusive)
+  /// with a matching tag is queued at `dst`.
+  bool probeRange(int dst, int srcLo, int srcHi, int tag);
 
   /// Wakes all waiters with an error; used when a peer thread throws so the
   /// whole world fails fast instead of deadlocking.
@@ -57,10 +73,6 @@ class MailboxTable {
     std::deque<Message> queue;
   };
 
-  bool matches(const Message& m, int src, int tag) const {
-    return (src == kAnySource || m.srcGlobal == src) &&
-           (tag == kAnyTag || m.tag == tag);
-  }
   bool matchesRange(const Message& m, int srcLo, int srcHi, int tag) const {
     return m.srcGlobal >= srcLo && m.srcGlobal <= srcHi &&
            (tag == kAnyTag || m.tag == tag);

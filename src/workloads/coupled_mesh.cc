@@ -57,6 +57,9 @@ void CoupledMesh::buildRegularInspector() {
   comm_->compute([&] {
     ghostSched_ = parti::cachedGhostSchedule(a_->desc(), comm_->rank());
   });
+  // The exchanger re-fetches the same cached schedule and binds the
+  // persistent split-phase executor the steady-state sweeps run on.
+  ghosts_.emplace(*a_);
 }
 
 void CoupledMesh::buildIrregularInspector() {
@@ -155,8 +158,8 @@ void CoupledMesh::buildChaosCopySchedules() {
 }
 
 void CoupledMesh::regularSweep() {
-  MC_REQUIRE(ghostSched_ != nullptr, "buildRegularInspector first");
-  parti::stencilSweep(*a_, *ghostSched_, scratch_);
+  MC_REQUIRE(ghosts_.has_value(), "buildRegularInspector first");
+  parti::stencilSweep(*a_, *ghosts_, scratch_);
 }
 
 void CoupledMesh::irregularSweep() {

@@ -98,6 +98,9 @@ class CoupledMesh {
   // schedule caches: rebuilding an inspector with unchanged inputs is a
   // cache hit that hands back the same (run-compressed) schedule.
   std::shared_ptr<const parti::Schedule> ghostSched_;
+  // Persistent split-phase ghost executor: steady-state sweeps overlap the
+  // halo traffic with the interior update and recycle message buffers.
+  std::optional<parti::GhostExchanger<double>> ghosts_;
   std::optional<chaos::EdgeSweep<double>> edgeSweep_;
   std::shared_ptr<const core::McSchedule> mcRegToIrreg_;
   std::shared_ptr<const core::McSchedule> mcIrregToReg_;

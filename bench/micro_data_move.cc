@@ -17,8 +17,16 @@
 // Reports wall-clock per step (virtual clocks cannot see the transport's
 // internal copies — they happen outside compute()), plus the new
 // TrafficStats counters: bytesCopied and allocations summed over ranks for
-// the measured steps.  The executor leg must show zero for both.
-// Emits BENCH_data_move.json.
+// the measured steps.  The executor leg must show zero for both.  Per-case
+// attribution uses TrafficStats epoch snapshot/diff (after - before), not
+// resetStats(): resetting would clobber the cumulative counters the obs
+// registry samples, and earlier cases' traffic would silently leak into
+// later ones if any step skipped the reset.
+//
+// Emits BENCH_data_move.json through obs::BenchReport (mc-bench-v1), and a
+// Chrome trace of the split-phase overlap case to
+// TRACE_data_move_overlap.json (load it in chrome://tracing or
+// ui.perfetto.dev: the interior compute span rides beside recvWait).
 //
 // Flags: --side=N (default 768; element count is side^2), --steps=N
 // (default 10), for CI smoke runs.
@@ -26,7 +34,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <numeric>
 
 #include "chaos/partition.h"
@@ -35,6 +42,10 @@
 #include "core/adapters/hpf_adapter.h"
 #include "core/adapters/parti_adapter.h"
 #include "core/schedule_builder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "sched/executor.h"
 #include "sched/reference_executor.h"
 #include "util/rng.h"
@@ -100,10 +111,11 @@ template <typename StepFn>
 Leg measureLeg(transport::Comm& c, int steps, StepFn&& step) {
   step();  // warmup: first-run allocations stay out of the window
   c.barrier();
-  c.resetStats();
+  const transport::TrafficStats before = c.stats();  // epoch snapshot
   const auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < steps; ++i) step();
-  const auto stats = c.stats();  // read before the reductions add traffic
+  // Diff before the reductions add traffic of their own.
+  const transport::TrafficStats stats = c.stats() - before;
   const double mine =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -123,10 +135,11 @@ template <typename StepFn>
 Leg measureVirtualLeg(transport::Comm& c, int steps, StepFn&& step) {
   step();  // warmup: first-run allocations stay out of the window
   c.barrier();
-  c.resetStats();
+  const transport::TrafficStats before = c.stats();  // epoch snapshot
   const double v0 = c.now();
   for (int i = 0; i < steps; ++i) step();
-  const auto stats = c.stats();  // read before the reductions add traffic
+  // Diff before the reductions add traffic of their own.
+  const transport::TrafficStats stats = c.stats() - before;
   const double mine = c.now() - v0;
   Leg leg;
   leg.perStepSeconds = c.allreduceMax(mine) / steps;
@@ -147,6 +160,26 @@ struct OverlapResult {
                : 0.0;
   }
 };
+
+/// The symmetric ring exchange of the overlap case: each rank ships a
+/// `block`-element run to its successor and receives one from its
+/// predecessor (into the upper half of a 2*block destination).
+sched::Schedule makeRingPlan(const transport::Comm& c, Index block) {
+  sched::Schedule plan;
+  sched::OffsetPlan send;
+  send.peer = (c.rank() + 1) % c.size();
+  send.offsets.resize(static_cast<size_t>(block));
+  std::iota(send.offsets.begin(), send.offsets.end(), Index{0});
+  sched::OffsetPlan recv;
+  recv.peer = (c.rank() + c.size() - 1) % c.size();
+  recv.offsets.resize(static_cast<size_t>(block));
+  std::iota(recv.offsets.begin(), recv.offsets.end(), block);
+  plan.sends.push_back(std::move(send));
+  plan.recvs.push_back(std::move(recv));
+  plan.compress();
+  plan.sortByPeer();
+  return plan;
+}
 
 }  // namespace
 
@@ -240,21 +273,7 @@ int main(int argc, char** argv) {
     // Virtual clock: the overlap lives in the modelled network.
     {
       const Index block = n / kProcs + 1;
-      sched::Schedule plan;
-      {
-        sched::OffsetPlan send;
-        send.peer = (c.rank() + 1) % c.size();
-        send.offsets.resize(static_cast<size_t>(block));
-        std::iota(send.offsets.begin(), send.offsets.end(), Index{0});
-        sched::OffsetPlan recv;
-        recv.peer = (c.rank() + c.size() - 1) % c.size();
-        recv.offsets.resize(static_cast<size_t>(block));
-        std::iota(recv.offsets.begin(), recv.offsets.end(), block);
-        plan.sends.push_back(std::move(send));
-        plan.recvs.push_back(std::move(recv));
-        plan.compress();
-        plan.sortByPeer();
-      }
+      const sched::Schedule plan = makeRingPlan(c, block);
       std::vector<double> src(static_cast<size_t>(block), 1.0);
       std::vector<double> dst(static_cast<size_t>(2 * block), 0.0);
       const std::span<const double> srcSpan(src);
@@ -321,41 +340,73 @@ int main(int argc, char** argv) {
       overlap.split.drainedEarly / steps,
       overlap.split.allocations / steps);
 
-  std::ofstream json("BENCH_data_move.json");
-  json << "{\n  \"benchmark\": \"data_move\",\n  \"procs\": " << kProcs
-       << ",\n  \"elements\": " << n << ",\n  \"steps\": " << steps
-       << ",\n  \"cases\": [\n";
+  // Span-recorded rerun of the split-phase overlap case, exported as a
+  // Chrome trace.  A separate world, so span recording cannot perturb the
+  // measured legs above; each rank calibrates its own synthetic load.
+  obs::TraceCollector trace;
+  obs::setEnabled(true);
+  transport::World::runSPMD(kProcs, [&](transport::Comm& c) {
+    constexpr int kTraceSteps = 3;
+    const Index block = n / kProcs + 1;
+    const sched::Schedule plan = makeRingPlan(c, block);
+    std::vector<double> src(static_cast<size_t>(block), 1.0);
+    std::vector<double> dst(static_cast<size_t>(2 * block), 0.0);
+    const std::span<const double> srcSpan(src);
+    const std::span<double> dstSpan(dst);
+    sched::Executor<double> ex(c, plan);
+    const double v0 = c.now();
+    for (int i = 0; i < kTraceSteps; ++i) ex.run(srcSpan, dstSpan);
+    const double load = (c.now() - v0) / kTraceSteps;
+    c.barrier();
+    obs::threadRegistry().clearSpans();  // warmup/calibration spans out
+    for (int i = 0; i < kTraceSteps; ++i) {
+      auto pending = ex.start(srcSpan);
+      obs::ScopedSpan compute(obs::phase::kCompute);
+      c.advance(load);  // caller compute, away from the footprint
+      compute.end();
+      pending.poll();
+      pending.finish(dstSpan);
+    }
+    trace.add(c.program(), c.globalRank(),
+              strprintf("prog%d/rank%d", c.program(), c.rank()),
+              obs::threadRegistry().takeSpans());
+  });
+  obs::setEnabled(false);
+  obs::writeChromeTrace("TRACE_data_move_overlap.json", trace);
+
+  obs::BenchReport report("data_move");
+  report.config("procs", kProcs);
+  report.config("side", static_cast<double>(side));
+  report.config("elements", static_cast<double>(n));
+  report.config("steps", steps);
+  report.config("overlap_clock", "virtual");
+  const auto legMetrics = [](obs::BenchReport::Case& cs,
+                             const std::string& prefix, const Leg& l) {
+    cs.metric(prefix + ".per_step_seconds", l.perStepSeconds);
+    cs.metric(prefix + ".bytes_copied", l.bytesCopied);
+    cs.metric(prefix + ".allocations", l.allocations);
+    cs.metric(prefix + ".messages", l.messages);
+  };
+  const char* jsonNames[] = {"regular_to_regular", "irregular_to_irregular"};
   for (size_t i = 0; i < results.size(); ++i) {
-    const CaseResult& r = results[i];
-    const auto leg = [&](const char* name, const Leg& l,
-                         const char* trailing) {
-      json << "     \"" << name
-           << "\": {\"per_step_seconds\": " << l.perStepSeconds
-           << ", \"bytes_copied\": " << l.bytesCopied
-           << ", \"allocations\": " << l.allocations
-           << ", \"messages\": " << l.messages << "}" << trailing << "\n";
-    };
-    json << "    {\"name\": \"" << r.name << "\",\n";
-    leg("reference", r.reference, ",");
-    leg("executor", r.executor, ",");
-    json << "     \"speedup\": " << r.speedup()
-         << ",\n     \"copy_ratio\": " << r.copyRatio() << "},\n";
+    obs::BenchReport::Case& cs = report.addCase(jsonNames[i]);
+    legMetrics(cs, "reference", results[i].reference);
+    legMetrics(cs, "executor", results[i].executor);
+    cs.metric("speedup", results[i].speedup());
+    cs.metric("copy_ratio", results[i].copyRatio());
   }
-  json << "    {\"name\": \"split-phase overlap\",\n"
-       << "     \"clock\": \"virtual\",\n"
-       << "     \"comm_seconds\": " << overlap.commSeconds << ",\n"
-       << "     \"blocking\": {\"per_step_seconds\": "
-       << overlap.blocking.perStepSeconds
-       << ", \"allocations\": " << overlap.blocking.allocations
-       << ", \"messages\": " << overlap.blocking.messages << "},\n"
-       << "     \"split_phase\": {\"per_step_seconds\": "
-       << overlap.split.perStepSeconds
-       << ", \"allocations\": " << overlap.split.allocations
-       << ", \"messages\": " << overlap.split.messages
-       << ", \"messages_drained_early\": " << overlap.split.drainedEarly
-       << "},\n"
-       << "     \"speedup\": " << overlap.speedup() << "}\n";
-  json << "  ]\n}\n";
-  std::printf("\nwrote BENCH_data_move.json\n");
+  obs::BenchReport::Case& ov = report.addCase("split_phase_overlap");
+  ov.metric("comm_seconds", overlap.commSeconds);
+  ov.metric("blocking.per_step_seconds", overlap.blocking.perStepSeconds);
+  ov.metric("blocking.allocations", overlap.blocking.allocations);
+  ov.metric("blocking.messages", overlap.blocking.messages);
+  ov.metric("split_phase.per_step_seconds", overlap.split.perStepSeconds);
+  ov.metric("split_phase.allocations", overlap.split.allocations);
+  ov.metric("split_phase.messages", overlap.split.messages);
+  ov.metric("split_phase.messages_drained_early", overlap.split.drainedEarly);
+  ov.metric("speedup", overlap.speedup());
+  report.write("BENCH_data_move.json");
+  std::printf(
+      "\nwrote BENCH_data_move.json and TRACE_data_move_overlap.json\n");
   return 0;
 }

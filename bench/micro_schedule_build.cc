@@ -13,12 +13,11 @@
 //     shuffled index set): the adversarial floor — runs degenerate to
 //     single elements and the two pipelines should be within noise.
 //
-// Emits BENCH_schedule_build.json next to the ascii table so the perf
-// trajectory is machine-trackable.
+// Emits BENCH_schedule_build.json (obs::BenchReport, mc-bench-v1) next to
+// the ascii table so the perf trajectory is machine-trackable.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <numeric>
 
 #include "chaos/partition.h"
@@ -27,6 +26,7 @@
 #include "core/adapters/hpf_adapter.h"
 #include "core/adapters/parti_adapter.h"
 #include "core/schedule_builder.h"
+#include "obs/json.h"
 #include "util/rng.h"
 
 using namespace mc;
@@ -212,28 +212,29 @@ int main(int argc, char** argv) {
             : 0.0);
   }
 
-  std::ofstream json("BENCH_schedule_build.json");
-  json << "{\n  \"benchmark\": \"schedule_build\",\n  \"procs\": " << kProcs
-       << ",\n  \"elements\": " << n << ",\n  \"reps\": " << kReps
-       << ",\n  \"cases\": [\n";
+  obs::BenchReport report("schedule_build");
+  report.config("procs", kProcs);
+  report.config("side", static_cast<double>(kSide));
+  report.config("elements", static_cast<double>(n));
+  report.config("reps", kReps);
+  const char* jsonNames[] = {"regular_to_regular", "regular_to_irregular",
+                             "irregular_to_irregular"};
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
-    json << "    {\"name\": \"" << r.name << "\",\n"
-         << "     \"elementwise\": {\"build_seconds\": " << r.elem.buildSeconds
-         << ", \"peak_table_bytes\": " << r.elem.peakTableBytes << "},\n"
-         << "     \"run_native\": {\"build_seconds\": " << r.runs.buildSeconds
-         << ", \"peak_table_bytes\": " << r.runs.peakTableBytes << "},\n"
-         << "     \"build_speedup\": "
-         << (r.runs.buildSeconds > 0
-                 ? r.elem.buildSeconds / r.runs.buildSeconds
-                 : 0.0)
-         << ",\n     \"table_bytes_ratio\": "
-         << (r.runs.peakTableBytes > 0
-                 ? r.elem.peakTableBytes / r.runs.peakTableBytes
-                 : 0.0)
-         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    obs::BenchReport::Case& cs = report.addCase(jsonNames[i]);
+    cs.metric("elementwise.build_seconds", r.elem.buildSeconds);
+    cs.metric("elementwise.peak_table_bytes", r.elem.peakTableBytes);
+    cs.metric("run_native.build_seconds", r.runs.buildSeconds);
+    cs.metric("run_native.peak_table_bytes", r.runs.peakTableBytes);
+    cs.metric("build_speedup", r.runs.buildSeconds > 0
+                                   ? r.elem.buildSeconds / r.runs.buildSeconds
+                                   : 0.0);
+    cs.metric("table_bytes_ratio",
+              r.runs.peakTableBytes > 0
+                  ? r.elem.peakTableBytes / r.runs.peakTableBytes
+                  : 0.0);
   }
-  json << "  ]\n}\n";
+  report.write("BENCH_schedule_build.json");
   std::printf("\nwrote BENCH_schedule_build.json\n");
   return 0;
 }

@@ -9,9 +9,15 @@
 // Part 2 (wall clock): pack/unpack of a large section, element-by-element
 // versus run-compressed (one memcpy per contiguous run).  This measures the
 // real CPU cost of the executor fast path, independent of the network model.
+//
+// Cache counters are attributed per leg by CacheStats epoch snapshot/diff
+// (after - before): the cached leg is 1 miss + kReps-1 hits, and the
+// executor-only leg's getOrBuild prep is its own 1 hit.  (Reading the
+// counters once at the end used to conflate the two, reporting the prep hit
+// as if the cached leg had kReps hits.)  Emits BENCH_schedule_cache.json
+// through obs::BenchReport (mc-bench-v1).
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <numeric>
 
 #include "chaos/partition.h"
@@ -19,6 +25,7 @@
 #include "core/adapters/chaos_adapter.h"
 #include "core/adapters/parti_adapter.h"
 #include "core/copy_regions.h"
+#include "obs/json.h"
 #include "sched/run_plan.h"
 
 using namespace mc;
@@ -77,7 +84,7 @@ double wallNow() {
 int main() {
   // --- Part 1: rebuild-per-copy vs cached-per-copy (virtual clock) --------
   double tRebuild = 0, tCached = 0, tExecOnly = 0;
-  std::uint64_t hits = 0, misses = 0;
+  sched::CacheStats cachedLeg, prepLeg;
   transport::World::runSPMD(kProcs, [&](transport::Comm& c) {
     Setup s(c);
     bench::PhaseTimer timer(c);
@@ -90,18 +97,24 @@ int main() {
     }
     const double t1 = timer.lap();
 
-    // Cached: the first step builds and inserts, the rest hit.
+    // Cached: the first step builds and inserts, the rest hit.  Counters
+    // are attributed by epoch diff so the executor-only leg's prep below
+    // cannot leak into this leg's hit count.
     core::ScheduleCache cache;
+    const sched::CacheStats beforeCached = cache.stats();
     for (int i = 0; i < kReps; ++i) {
       core::copyRegions<double>(c, s.aObj, s.aSet, s.a.raw(), s.xObj, s.xSet,
                                 s.x->raw(), core::Method::kCooperation,
                                 &cache);
     }
+    const sched::CacheStats afterCached = cache.stats();
     const double t2 = timer.lap();
 
     // Floor: executor only, schedule in hand (what a hit costs minus the
-    // agreement round).
+    // agreement round).  The getOrBuild is prep — its cache hit belongs to
+    // this leg, not the cached loop above.
     const auto sched = cache.getOrBuild(c, s.aObj, s.aSet, s.xObj, s.xSet);
+    const sched::CacheStats afterPrep = cache.stats();
     timer.lap();
     for (int i = 0; i < kReps; ++i) {
       core::dataMove<double>(c, *sched, s.a.raw(), s.x->raw());
@@ -112,8 +125,8 @@ int main() {
       tRebuild = t1;
       tCached = t2;
       tExecOnly = t3;
-      hits = cache.stats().hits;
-      misses = cache.stats().misses;
+      cachedLeg = afterCached - beforeCached;
+      prepLeg = afterPrep - afterCached;
     }
   });
 
@@ -130,10 +143,11 @@ int main() {
                       bench::Row{"executor only", {tExecOnly}, {}},
                   })
                   .c_str());
-  std::printf("cache counters (rank 0): %llu hits / %llu misses; "
-              "amortization factor %.1fx\n\n",
-              static_cast<unsigned long long>(hits),
-              static_cast<unsigned long long>(misses),
+  std::printf("cache counters (rank 0): cached leg %llu hits / %llu misses, "
+              "executor prep %llu hits; amortization factor %.1fx\n\n",
+              static_cast<unsigned long long>(cachedLeg.hits),
+              static_cast<unsigned long long>(cachedLeg.misses),
+              static_cast<unsigned long long>(prepLeg.hits),
               tCached > 0 ? tRebuild / tCached : 0.0);
 
   // --- Part 2: run-compressed vs per-element pack/unpack (wall clock) -----
@@ -167,6 +181,11 @@ int main() {
               "wall clock) ==\n");
   std::printf("%-14s %10s %12s %12s %8s\n", "pattern", "elements",
               "element [ms]", "runwise [ms]", "speedup");
+  struct PackResult {
+    std::string name;  // snake_case for the JSON case name
+    double elements = 0, elementSeconds = 0, runwiseSeconds = 0;
+  };
+  std::vector<PackResult> packResults;
   for (const Pattern& pat : patterns) {
     const auto runs =
         sched::compressOffsets(std::span<const Index>(pat.offsets));
@@ -190,20 +209,49 @@ int main() {
     std::printf("%-14s %10zu %12.2f %12.2f %7.1fx\n", pat.name,
                 pat.offsets.size(), 1e3 * tElem / wReps, 1e3 * tRuns / wReps,
                 tRuns > 0 ? tElem / tRuns : 0.0);
+
+    PackResult pr;
+    pr.name = std::string("pack_") + pat.name;
+    for (char& ch : pr.name) {
+      if (ch == ' ') ch = '_';
+    }
+    pr.elements = static_cast<double>(pat.offsets.size());
+    pr.elementSeconds = tElem / wReps;
+    pr.runwiseSeconds = tRuns / wReps;
+    packResults.push_back(std::move(pr));
   }
   std::printf("expected: contiguous and blocked patterns collapse to a few\n"
               "memcpy calls; pure stride-2 keeps one run whose pointer walk\n"
               "still beats chasing an explicit offset list.\n");
 
-  std::ofstream json("BENCH_schedule_cache.json");
-  json << "{\n  \"benchmark\": \"schedule_cache\",\n  \"procs\": " << kProcs
-       << ",\n  \"reps\": " << kReps
-       << ",\n  \"rebuild_seconds\": " << tRebuild
-       << ",\n  \"cached_seconds\": " << tCached
-       << ",\n  \"executor_only_seconds\": " << tExecOnly
-       << ",\n  \"cache_hits\": " << hits << ",\n  \"cache_misses\": "
-       << misses << ",\n  \"amortization_factor\": "
-       << (tCached > 0 ? tRebuild / tCached : 0.0) << "\n}\n";
+  obs::BenchReport report("schedule_cache");
+  report.config("procs", kProcs);
+  report.config("side", static_cast<double>(kSide));
+  report.config("reps", kReps);
+  obs::BenchReport::Case& rebuild = report.addCase("rebuild_every_copy");
+  rebuild.metric("total_seconds", tRebuild);
+  obs::BenchReport::Case& cached = report.addCase("schedule_cache");
+  cached.metric("total_seconds", tCached);
+  cached.metric("cache.hits", static_cast<double>(cachedLeg.hits));
+  cached.metric("cache.misses", static_cast<double>(cachedLeg.misses));
+  cached.metric("cache.insertions",
+                static_cast<double>(cachedLeg.insertions));
+  cached.metric("amortization_factor",
+                tCached > 0 ? tRebuild / tCached : 0.0);
+  obs::BenchReport::Case& execOnly = report.addCase("executor_only");
+  execOnly.metric("total_seconds", tExecOnly);
+  execOnly.metric("prep.cache.hits", static_cast<double>(prepLeg.hits));
+  execOnly.metric("prep.cache.misses", static_cast<double>(prepLeg.misses));
+  for (const auto& pr : packResults) {
+    obs::BenchReport::Case& cs = report.addCase(pr.name);
+    cs.metric("elements", pr.elements);
+    cs.metric("element_seconds", pr.elementSeconds);
+    cs.metric("runwise_seconds", pr.runwiseSeconds);
+    cs.metric("speedup", pr.runwiseSeconds > 0
+                             ? pr.elementSeconds / pr.runwiseSeconds
+                             : 0.0);
+  }
+  report.write("BENCH_schedule_cache.json");
   std::printf("wrote BENCH_schedule_cache.json\n");
   return 0;
 }

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the mc-bench-v1 schema.
+
+The schema is pinned by src/obs/json.h (obs::BenchReport, the one emitter
+every bench binary routes through):
+
+    {
+      "schema": "mc-bench-v1",
+      "benchmark": "<name>",
+      "config":  { "<key>": number | string, ... },
+      "cases": [
+        { "name": "<case>",
+          "metrics": {
+            "<dotted.metric>": number | null,
+            "<dotted.metric>": { "count": N, "mean": x|null, "min": x|null,
+                                 "max": x|null, "stddev": x|null, "sum": x }
+          } }, ... ]
+    }
+
+Conventions enforced here:
+  * keys (config, case names, metric names) are snake_case dotted paths:
+    [a-z0-9_] segments joined by '.', starting with a letter;
+  * every time-valued metric name ends in "_seconds" — and vice versa, a
+    *_seconds metric must be a number/null/stat like any other (no strings);
+  * a stat-valued metric carries exactly the six RunningStat fields, with
+    "count" a non-negative integer; count == 0 requires null
+    mean/min/max/stddev (an empty stat is explicit, never a fake zero).
+
+Usage: check_bench_json.py FILE [FILE...]   (exits non-zero on any failure)
+"""
+
+import json
+import re
+import sys
+
+KEY_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+STAT_FIELDS = {"count", "mean", "min", "max", "stddev", "sum"}
+
+
+def is_number(v):
+    # bool is an int subclass; a bare true/false is never a valid metric.
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_key(errors, where, key):
+    if not KEY_RE.match(key):
+        errors.append(f"{where}: key '{key}' is not a snake_case dotted path")
+
+
+def check_stat(errors, where, v):
+    fields = set(v.keys())
+    if fields != STAT_FIELDS:
+        errors.append(
+            f"{where}: stat object has fields {sorted(fields)}, "
+            f"expected {sorted(STAT_FIELDS)}")
+        return
+    count = v["count"]
+    if not is_number(count) or count < 0 or count != int(count):
+        errors.append(f"{where}: stat 'count' must be a non-negative integer")
+        return
+    moments = ["mean", "min", "max", "stddev"]
+    if count == 0:
+        for m in moments:
+            if v[m] is not None:
+                errors.append(
+                    f"{where}: empty stat (count 0) must have null '{m}', "
+                    f"got {v[m]!r}")
+    else:
+        for m in moments + ["sum"]:
+            if not is_number(v[m]):
+                errors.append(
+                    f"{where}: non-empty stat field '{m}' must be a number, "
+                    f"got {v[m]!r}")
+
+
+def check_metric(errors, where, name, v):
+    check_key(errors, where, name)
+    if v is None or is_number(v):
+        return
+    if isinstance(v, dict):
+        check_stat(errors, f"{where}.{name}", v)
+        return
+    errors.append(
+        f"{where}: metric '{name}' must be a number, null, or a stat "
+        f"object, got {type(v).__name__}")
+
+
+def check_report(errors, path, doc):
+    if not isinstance(doc, dict):
+        errors.append(f"{path}: top level must be an object")
+        return
+    if doc.get("schema") != "mc-bench-v1":
+        errors.append(f"{path}: schema is {doc.get('schema')!r}, "
+                      f"expected 'mc-bench-v1'")
+    if not isinstance(doc.get("benchmark"), str) or not doc.get("benchmark"):
+        errors.append(f"{path}: 'benchmark' must be a non-empty string")
+    extra = set(doc.keys()) - {"schema", "benchmark", "config", "cases"}
+    if extra:
+        errors.append(f"{path}: unexpected top-level keys {sorted(extra)}")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        errors.append(f"{path}: 'config' must be an object")
+    else:
+        for key, v in config.items():
+            check_key(errors, f"{path}:config", key)
+            if not (is_number(v) or isinstance(v, str)):
+                errors.append(f"{path}:config: '{key}' must be a number or "
+                              f"string, got {type(v).__name__}")
+
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        errors.append(f"{path}: 'cases' must be a non-empty array")
+        return
+    seen = set()
+    for i, case in enumerate(cases):
+        where = f"{path}:cases[{i}]"
+        if not isinstance(case, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        name = case.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: 'name' must be a non-empty string")
+        else:
+            check_key(errors, where, name)
+            if name in seen:
+                errors.append(f"{where}: duplicate case name '{name}'")
+            seen.add(name)
+        if set(case.keys()) != {"name", "metrics"}:
+            errors.append(f"{where}: must have exactly 'name' and 'metrics', "
+                          f"got {sorted(case.keys())}")
+            continue
+        metrics = case["metrics"]
+        if not isinstance(metrics, dict) or not metrics:
+            errors.append(f"{where}: 'metrics' must be a non-empty object")
+            continue
+        for mname, v in metrics.items():
+            check_metric(errors, where, mname, v)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"{path}: {e}")
+            continue
+        check_report(errors, path, doc)
+    for e in errors:
+        print(f"check_bench_json: {e}", file=sys.stderr)
+    if not errors:
+        print(f"check_bench_json: {len(argv) - 1} file(s) OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

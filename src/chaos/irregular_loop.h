@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "chaos/localize.h"
+#include "obs/span.h"
 
 namespace mc::chaos {
 
@@ -78,6 +79,9 @@ class EdgeSweep {
     const auto& li = loc_.localIndices;
     const std::span<const T> xo = x.raw();
     const std::span<T> yo = y.raw();
+    // Interior edges overlap the in-flight gather (trace: this compute span
+    // runs beside the gather's recvWait).
+    obs::ScopedSpan interiorSpan(obs::phase::kCompute);
     constexpr std::size_t kChunk = 4096;  // edges per poll
     for (std::size_t at = 0; at < interiorEdges_.size(); at += kChunk) {
       const std::size_t end = std::min(interiorEdges_.size(), at + kChunk);
@@ -94,7 +98,9 @@ class EdgeSweep {
       });
       pending.poll();
     }
+    interiorSpan.end();
     pending.finish(xGhost_);
+    obs::ScopedSpan boundarySpan(obs::phase::kCompute);
     comm_->compute([&] {
       for (const layout::Index e : boundaryEdges_) {
         const layout::Index a = li[static_cast<size_t>(e)];
@@ -104,6 +110,7 @@ class EdgeSweep {
         addAt(y, b, contrib);
       }
     });
+    boundarySpan.end();
     scatterExec_->runAdd(yGhost_, y.raw());
   }
 

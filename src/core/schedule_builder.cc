@@ -4,6 +4,9 @@
 #include <atomic>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace mc::core {
 
 using layout::Index;
@@ -14,6 +17,29 @@ namespace {
 
 std::atomic<bool> g_buildElementwise{false};
 thread_local BuildStats g_buildStats;
+// Monotone per-rank build telemetry for the obs registry (g_buildStats
+// itself resets per build, so it cannot serve snapshot/diff accounting).
+thread_local std::uint64_t g_buildCount = 0;
+thread_local std::uint64_t g_tableBytesTotal = 0;
+
+/// Registers the builder's counters into the rank's registry (idempotent;
+/// called from every build entry point so the metrics exist as soon as a
+/// rank builds anything).
+void ensureBuildMetrics() {
+  obs::MetricsRegistry& reg = obs::threadRegistry();
+  if (reg.has("build.count")) return;
+  reg.registerCounter("build.count",
+                      [] { return static_cast<double>(g_buildCount); });
+  reg.registerCounter("build.ownership_table_bytes_total", [] {
+    return static_cast<double>(g_tableBytesTotal);
+  });
+}
+
+/// Accounts one finished build into the monotone counters.
+void noteBuildDone() {
+  ++g_buildCount;
+  g_tableBytesTotal += g_buildStats.ownershipTableBytes;
+}
 
 // ---------------------------------------------------------------------------
 // Wire formats.
@@ -1185,6 +1211,8 @@ McSchedule computeSchedule(transport::Comm& comm, const DistObject& srcObj,
                            const SetOfRegions& srcSet,
                            const DistObject& dstObj,
                            const SetOfRegions& dstSet, Method method) {
+  ensureBuildMetrics();
+  obs::ScopedSpan span(obs::phase::kBuild);
   g_buildStats = BuildStats{};
   const LibraryAdapter& srcLib = adapterFor(srcObj);
   const LibraryAdapter& dstLib = adapterFor(dstObj);
@@ -1196,50 +1224,64 @@ McSchedule computeSchedule(transport::Comm& comm, const DistObject& srcObj,
              static_cast<long long>(n),
              static_cast<long long>(dstSet.numElements()));
   const bool elementwise = g_buildElementwise.load(std::memory_order_relaxed);
+  McSchedule out;
   if (method == Method::kDuplication) {
-    return elementwise
-               ? buildIntraDuplicationElementwise(comm, srcLib, srcObj, srcSet,
-                                                  dstLib, dstObj, dstSet, n)
-               : buildIntraDuplication(comm, srcLib, srcObj, srcSet, dstLib,
-                                       dstObj, dstSet, n);
+    out = elementwise
+              ? buildIntraDuplicationElementwise(comm, srcLib, srcObj, srcSet,
+                                                 dstLib, dstObj, dstSet, n)
+              : buildIntraDuplication(comm, srcLib, srcObj, srcSet, dstLib,
+                                      dstObj, dstSet, n);
+  } else {
+    out = elementwise
+              ? buildIntraCooperationElementwise(comm, srcLib, srcObj, srcSet,
+                                                 dstLib, dstObj, dstSet, n)
+              : buildIntraCooperation(comm, srcLib, srcObj, srcSet, dstLib,
+                                      dstObj, dstSet, n);
   }
-  return elementwise
-             ? buildIntraCooperationElementwise(comm, srcLib, srcObj, srcSet,
-                                                dstLib, dstObj, dstSet, n)
-             : buildIntraCooperation(comm, srcLib, srcObj, srcSet, dstLib,
-                                     dstObj, dstSet, n);
+  noteBuildDone();
+  return out;
 }
 
 McSchedule computeScheduleSend(transport::Comm& comm, const DistObject& srcObj,
                                const SetOfRegions& srcSet, int remoteProgram,
                                Method method) {
+  ensureBuildMetrics();
+  obs::ScopedSpan span(obs::phase::kBuild);
   g_buildStats = BuildStats{};
   const LibraryAdapter& srcLib = adapterFor(srcObj);
   srcLib.validate(srcObj, srcSet);
   const bool elementwise = g_buildElementwise.load(std::memory_order_relaxed);
-  if (method == Method::kDuplication) {
-    return buildInterDuplication(comm, srcLib, srcObj, srcSet, remoteProgram,
-                                 /*isSender=*/true, elementwise);
-  }
-  return buildInterCooperationSend(comm, srcLib, srcObj, srcSet, remoteProgram,
-                                   elementwise);
+  McSchedule out =
+      method == Method::kDuplication
+          ? buildInterDuplication(comm, srcLib, srcObj, srcSet, remoteProgram,
+                                  /*isSender=*/true, elementwise)
+          : buildInterCooperationSend(comm, srcLib, srcObj, srcSet,
+                                      remoteProgram, elementwise);
+  noteBuildDone();
+  return out;
 }
 
 McSchedule computeScheduleRecv(transport::Comm& comm, const DistObject& dstObj,
                                const SetOfRegions& dstSet, int remoteProgram,
                                Method method) {
+  ensureBuildMetrics();
+  obs::ScopedSpan span(obs::phase::kBuild);
   g_buildStats = BuildStats{};
   const LibraryAdapter& dstLib = adapterFor(dstObj);
   dstLib.validate(dstObj, dstSet);
   const bool elementwise = g_buildElementwise.load(std::memory_order_relaxed);
+  McSchedule out;
   if (method == Method::kDuplication) {
-    return buildInterDuplication(comm, dstLib, dstObj, dstSet, remoteProgram,
-                                 /*isSender=*/false, elementwise);
+    out = buildInterDuplication(comm, dstLib, dstObj, dstSet, remoteProgram,
+                                /*isSender=*/false, elementwise);
+  } else {
+    out = elementwise ? buildInterCooperationRecvElementwise(
+                            comm, dstLib, dstObj, dstSet, remoteProgram)
+                      : buildInterCooperationRecv(comm, dstLib, dstObj,
+                                                  dstSet, remoteProgram);
   }
-  return elementwise ? buildInterCooperationRecvElementwise(
-                           comm, dstLib, dstObj, dstSet, remoteProgram)
-                     : buildInterCooperationRecv(comm, dstLib, dstObj, dstSet,
-                                                 remoteProgram);
+  noteBuildDone();
+  return out;
 }
 
 McSchedule reverseSchedule(const McSchedule& sched) {

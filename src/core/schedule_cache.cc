@@ -1,6 +1,7 @@
 #include "core/schedule_cache.h"
 
 #include "core/registry.h"
+#include "obs/metrics.h"
 
 namespace mc::core {
 
@@ -153,6 +154,15 @@ std::shared_ptr<const McSchedule> ScheduleCache::getOrBuildRecv(
 
 ScheduleCache& defaultScheduleCache() {
   thread_local ScheduleCache cache;
+  // Register the singleton's counters into the rank's metrics registry the
+  // first time the cache exists on this thread (same lifetime: both are
+  // thread_local, and the registry never samples after thread exit).
+  thread_local bool registered = [] {
+    obs::registerCacheMetrics(obs::threadRegistry(), "core.sched_cache",
+                              cache);
+    return true;
+  }();
+  (void)registered;
   return cache;
 }
 

@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "hpfrt/hpf_array.h"
+#include "obs/span.h"
 #include "sched/executor.h"
 
 namespace mc::hpfrt {
@@ -132,6 +133,8 @@ class MatvecEngine {
     // exchange between row chunks so arrived blocks are consumed under the
     // compute.
     auto pending = exec_->start(x.raw());
+    // Owned-column partial product riding under the in-flight exchange.
+    obs::ScopedSpan ownedSpan(obs::phase::kCompute);
     constexpr layout::Index kRowChunk = 32;
     for (layout::Index r0 = 0; r0 < myRows; r0 += kRowChunk) {
       const layout::Index r1 = std::min(myRows, r0 + kRowChunk);
@@ -148,10 +151,12 @@ class MatvecEngine {
       });
       pending.poll();
     }
+    ownedSpan.end();
     pending.finish(full_);
 
     // Phase 2: the remote columns, in ascending column order —
     // deterministic regardless of arrival order.
+    obs::ScopedSpan remoteSpan(obs::phase::kCompute);
     comm.compute([&] {
       for (layout::Index r = 0; r < myRows; ++r) {
         T acc = out[static_cast<size_t>(r)];

@@ -1,11 +1,18 @@
 #include "hpfrt/redistribute.h"
 
 #include "layout/section_hash.h"
+#include "obs/metrics.h"
 
 namespace mc::hpfrt {
 
 sched::KeyedCache<sched::Schedule>& hpfScheduleCache() {
   thread_local sched::KeyedCache<sched::Schedule> cache;
+  thread_local bool registered = [] {
+    obs::registerCacheMetrics(obs::threadRegistry(), "hpf.sched_cache",
+                              cache);
+    return true;
+  }();
+  (void)registered;
   return cache;
 }
 

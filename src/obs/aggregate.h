@@ -1,0 +1,55 @@
+// Cross-rank aggregation of metric snapshots.
+//
+// Every rank holds its own MetricsRegistry; a report wants min/mean/max/
+// stddev *over ranks* for each metric.  aggregate() reduces one RunningStat
+// per metric over the program with RunningStat::merge (the parallel-variance
+// combine), using the transport's binomial allreduce — the tree shape is
+// fixed by rank, so the floating-point combination order, and therefore the
+// result, is deterministic and identical on every rank.
+//
+// Header-only on purpose: obs (the library) stays below transport in the
+// dependency order; only translation units that already link transport can
+// aggregate.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "transport/comm.h"
+#include "util/hash.h"
+#include "util/stats.h"
+
+namespace mc::obs {
+
+/// Aggregates `snapshot` over the calling program: result[name] holds the
+/// distribution of that metric's per-rank values.  Collective; every rank
+/// must pass an identical key set (SPMD snapshots of the same registries) —
+/// verified with a digest agreement round so a mismatch fails loudly
+/// instead of silently pairing different metrics.
+inline std::map<std::string, RunningStat> aggregate(transport::Comm& comm,
+                                                    const Snapshot& snapshot) {
+  HashStream h;
+  h.str("obs.aggregate.keys");
+  for (const auto& [key, value] : snapshot.values) h.str(key);
+  const std::uint64_t mine = h.digest()[0];
+  const std::uint64_t lo = comm.allreduceValue(
+      mine, [](std::uint64_t a, std::uint64_t b) { return a < b ? a : b; });
+  const std::uint64_t hi = comm.allreduceValue(
+      mine, [](std::uint64_t a, std::uint64_t b) { return a > b ? a : b; });
+  MC_REQUIRE(lo == hi,
+             "obs::aggregate: ranks disagree on the metric key set");
+
+  std::map<std::string, RunningStat> out;
+  for (const auto& [key, value] : snapshot.values) {
+    RunningStat s;
+    s.add(value);
+    out[key] = comm.allreduceValue(s, [](RunningStat a, const RunningStat& b) {
+      a.merge(b);
+      return a;
+    });
+  }
+  return out;
+}
+
+}  // namespace mc::obs

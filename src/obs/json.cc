@@ -1,0 +1,203 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/format.h"
+
+namespace mc::obs {
+
+// --- JsonWriter -------------------------------------------------------------
+
+void JsonWriter::comma() {
+  if (afterKey_) {
+    afterKey_ = false;
+    return;  // value follows its key, no comma
+  }
+  if (needComma_) out_ += ", ";
+}
+
+void JsonWriter::open(char c) {
+  comma();
+  out_ += c;
+  needComma_ = false;
+}
+
+void JsonWriter::close(char c) {
+  out_ += c;
+  needComma_ = true;
+}
+
+namespace {
+
+void appendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void JsonWriter::key(std::string_view name) {
+  MC_REQUIRE(!afterKey_, "json key '%.*s' follows another key",
+             static_cast<int>(name.size()), name.data());
+  if (needComma_) out_ += ", ";
+  out_ += '"';
+  appendEscaped(out_, name);
+  out_ += "\": ";
+  afterKey_ = true;
+  needComma_ = false;
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no NaN/inf literals
+  } else if (v == static_cast<double>(static_cast<long long>(v)) &&
+             std::abs(v) < 9.0e15) {
+    out_ += strprintf("%lld", static_cast<long long>(v));
+  } else {
+    out_ += strprintf("%.9g", v);
+  }
+  needComma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += strprintf("%llu", static_cast<unsigned long long>(v));
+  needComma_ = true;
+}
+
+void JsonWriter::value(long long v) {
+  comma();
+  out_ += strprintf("%lld", v);
+  needComma_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma();
+  out_ += '"';
+  appendEscaped(out_, s);
+  out_ += '"';
+  needComma_ = true;
+}
+
+void JsonWriter::null() {
+  comma();
+  out_ += "null";
+  needComma_ = true;
+}
+
+// --- BenchReport ------------------------------------------------------------
+
+void BenchReport::config(const std::string& key, double v) {
+  ConfigEntry e;
+  e.name = key;
+  e.number = v;
+  config_.push_back(std::move(e));
+}
+
+void BenchReport::config(const std::string& key, const std::string& v) {
+  ConfigEntry e;
+  e.name = key;
+  e.isString = true;
+  e.str = v;
+  config_.push_back(std::move(e));
+}
+
+BenchReport::Case& BenchReport::addCase(const std::string& name) {
+  cases_.push_back(Case(name));
+  return cases_.back();
+}
+
+void BenchReport::Case::metric(const std::string& name, double v) {
+  MetricValue m;
+  m.number = v;
+  metrics_[name] = m;
+}
+
+void BenchReport::Case::metric(const std::string& name,
+                               const RunningStat& s) {
+  MetricValue m;
+  m.kind = MetricValue::Kind::kStat;
+  m.stat = s;
+  metrics_[name] = m;
+}
+
+namespace {
+
+void writeMetric(JsonWriter& j, const MetricValue& m) {
+  if (m.kind == MetricValue::Kind::kNumber) {
+    j.value(m.number);
+    return;
+  }
+  // An aggregated stat.  Empty accumulators are *explicit*: count 0 and
+  // null moments, never a silent 0.0 that reads like a measurement.
+  j.beginObject();
+  j.kv("count", static_cast<std::uint64_t>(m.stat.count()));
+  j.kv("mean", m.stat.mean());      // NaN -> null when empty
+  j.kv("min", m.stat.min());
+  j.kv("max", m.stat.max());
+  j.kv("stddev", m.stat.stddev());
+  j.kv("sum", m.stat.sum());
+  j.endObject();
+}
+
+}  // namespace
+
+std::string BenchReport::render() const {
+  JsonWriter j;
+  j.beginObject();
+  j.kv("schema", "mc-bench-v1");
+  j.kv("benchmark", benchmark_);
+  j.key("config");
+  j.beginObject();
+  for (const ConfigEntry& e : config_) {
+    if (e.isString) {
+      j.kv(e.name, e.str);
+    } else {
+      j.kv(e.name, e.number);
+    }
+  }
+  j.endObject();
+  j.key("cases");
+  j.beginArray();
+  for (const Case& c : cases_) {
+    j.beginObject();
+    j.kv("name", c.name_);
+    j.key("metrics");
+    j.beginObject();
+    for (const auto& [name, m] : c.metrics_) {
+      j.key(name);
+      writeMetric(j, m);
+    }
+    j.endObject();
+    j.endObject();
+  }
+  j.endArray();
+  j.endObject();
+  return j.str() + "\n";
+}
+
+void BenchReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  MC_REQUIRE(out.good(), "cannot open '%s' for writing", path.c_str());
+  out << render();
+  MC_REQUIRE(out.good(), "write to '%s' failed", path.c_str());
+}
+
+}  // namespace mc::obs

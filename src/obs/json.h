@@ -1,0 +1,127 @@
+// Structured-JSON emission for the observability layer.
+//
+// JsonWriter is a small streaming writer (comma management, string
+// escaping, NaN/inf -> null) used by the trace exporter and the bench
+// report.  BenchReport is the one emitter every BENCH_*.json goes through;
+// it pins the "mc-bench-v1" schema validated by scripts/check_bench_json.py:
+//
+//   {
+//     "schema": "mc-bench-v1",
+//     "benchmark": "<name>",
+//     "config":  { "<key>": number | string, ... },
+//     "cases": [
+//       { "name": "<case>",
+//         "metrics": {
+//           "<dotted.metric>": number | null,
+//           "<dotted.metric>": { "count": N, "mean": x|null, "min": x|null,
+//                                "max": x|null, "stddev": x|null,
+//                                "sum": x }        // a RunningStat
+//         } }, ... ]
+//   }
+//
+// Conventions the schema checker enforces: keys are snake_case dotted
+// paths; every time-valued metric name ends in "_seconds"; an *empty*
+// RunningStat is explicit — count 0 and null mean/min/max/stddev — never a
+// fake zero (the accounting bug this layer fixes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace mc::obs {
+
+class JsonWriter {
+ public:
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  /// Object member key; must be followed by exactly one value/open call.
+  void key(std::string_view name);
+
+  /// Numbers: NaN and infinities emit null (JSON has no such literals).
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(long long v);
+  void value(int v) { value(static_cast<long long>(v)); }
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void null();
+
+  void kv(std::string_view k, double v) { key(k); value(v); }
+  void kv(std::string_view k, std::uint64_t v) { key(k); value(v); }
+  void kv(std::string_view k, long long v) { key(k); value(v); }
+  void kv(std::string_view k, int v) { key(k); value(v); }
+  void kv(std::string_view k, std::string_view v) { key(k); value(v); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void open(char c);
+  void close(char c);
+  void comma();
+
+  std::string out_;
+  bool needComma_ = false;
+  bool afterKey_ = false;
+};
+
+/// One metric value: a plain number or an aggregated RunningStat.
+struct MetricValue {
+  enum class Kind { kNumber, kStat };
+  Kind kind = Kind::kNumber;
+  double number = 0;
+  RunningStat stat;
+};
+
+/// The shared BENCH_*.json emitter (see file comment for the schema).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  void config(const std::string& key, double v);
+  void config(const std::string& key, const std::string& v);
+
+  class Case {
+   public:
+    /// Plain numeric metric; names are dotted snake_case paths and
+    /// time-valued metrics must end in "_seconds".
+    void metric(const std::string& name, double v);
+    /// Aggregated metric; an empty stat emits count 0 with null moments.
+    void metric(const std::string& name, const RunningStat& s);
+
+   private:
+    friend class BenchReport;
+    explicit Case(std::string name) : name_(std::move(name)) {}
+    std::string name_;
+    std::map<std::string, MetricValue> metrics_;
+  };
+
+  Case& addCase(const std::string& name);
+
+  /// Renders the report (deterministic member order).
+  std::string render() const;
+  /// Renders and writes to `path`; requires the write to succeed.
+  void write(const std::string& path) const;
+
+ private:
+  struct ConfigEntry {
+    std::string name;
+    bool isString = false;
+    double number = 0;
+    std::string str;
+  };
+
+  std::string benchmark_;
+  std::vector<ConfigEntry> config_;  // insertion order
+  std::vector<Case> cases_;
+};
+
+}  // namespace mc::obs

@@ -1,0 +1,10 @@
+#include "obs/metrics.h"
+
+namespace mc::obs {
+
+MetricsRegistry& threadRegistry() {
+  thread_local MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace mc::obs

@@ -1,0 +1,249 @@
+// The observability layer's per-rank metrics registry.
+//
+// Every counter in the system — transport::TrafficStats, the BufferPool,
+// core::BuildStats, the schedule caches — registers a named *sampler* into
+// the calling virtual processor's MetricsRegistry, which then becomes the
+// single source of truth for instrumentation: a Snapshot samples every
+// registered counter at once, and the cost of any code region is simply
+// `after - before` (epoch snapshot/diff).  Counters stay owned by their
+// subsystems; the registry only holds read callbacks, so registration adds
+// nothing to any hot path.
+//
+// Phase-scoped Spans record named regions (build / pack / send / recvWait /
+// unpack / apply / compute) against both the *virtual* clock (installed by
+// transport::Comm when a rank starts) and the thread CPU clock
+// (ThreadCpuTimer's CLOCK_THREAD_CPUTIME_ID).  Spans nest: each record
+// carries its depth, so an exporter can reconstruct the call tree.
+//
+// The registry is per virtual processor (thread_local, like
+// core::defaultScheduleCache()): each rank of a World runs on its own
+// thread, so no locking is needed anywhere in the layer except the
+// TraceCollector that merges ranks' spans for export.
+//
+// Disabled-mode overhead contract: obs::enabled() is a single relaxed
+// atomic load, and every span/record entry point checks it first — with
+// observability off (the default) the layer performs no allocation, no
+// clock read, and no registry access on any hot path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace mc::obs {
+
+namespace detail {
+inline std::atomic<bool>& enabledFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace detail
+
+/// Whether span recording is on.  Counters register and sample regardless —
+/// they are plain struct fields owned by their subsystems — but spans only
+/// record (and pay their two clock reads) when enabled.
+inline bool enabled() {
+  return detail::enabledFlag().load(std::memory_order_relaxed);
+}
+/// Process-wide switch; set it before the world runs (read by every rank).
+inline void setEnabled(bool on) {
+  detail::enabledFlag().store(on, std::memory_order_relaxed);
+}
+
+/// Canonical phase names, so every subsystem and exporter agrees.
+namespace phase {
+inline constexpr const char* kBuild = "build";
+inline constexpr const char* kPack = "pack";
+inline constexpr const char* kSend = "send";
+inline constexpr const char* kRecvWait = "recvWait";
+inline constexpr const char* kUnpack = "unpack";
+inline constexpr const char* kApply = "apply";
+inline constexpr const char* kCompute = "compute";
+}  // namespace phase
+
+/// A point-in-time sample of every registered counter.  Ordered map so
+/// iteration (and therefore JSON emission and cross-rank aggregation order)
+/// is deterministic.
+struct Snapshot {
+  std::map<std::string, double> values;
+
+  /// Value of `name`; requires the metric to be present.
+  double get(const std::string& name) const {
+    const auto it = values.find(name);
+    MC_REQUIRE(it != values.end(), "snapshot has no metric named '%s'",
+               name.c_str());
+    return it->second;
+  }
+  bool has(const std::string& name) const {
+    return values.find(name) != values.end();
+  }
+};
+
+/// Epoch diff: the cost of a code region is after - before, key by key.
+/// Keys present only in `after` (counters registered mid-region) diff
+/// against zero; keys that vanished are dropped.
+inline Snapshot operator-(const Snapshot& after, const Snapshot& before) {
+  Snapshot d;
+  for (const auto& [key, v] : after.values) {
+    const auto it = before.values.find(key);
+    d.values[key] = it == before.values.end() ? v : v - it->second;
+  }
+  return d;
+}
+
+/// One recorded phase span.  `name` must point at storage that outlives the
+/// registry (string literals; the phase:: constants).
+struct SpanRecord {
+  const char* name = "";
+  int depth = 0;           // nesting depth at begin (0 = top level)
+  double virtualBegin = 0;  // rank's virtual clock (comm.now()), seconds
+  double virtualEnd = 0;
+  double cpuBegin = 0;  // thread CPU clock, seconds
+  double cpuEnd = 0;
+
+  double virtualSeconds() const { return virtualEnd - virtualBegin; }
+  double cpuSeconds() const { return cpuEnd - cpuBegin; }
+};
+
+class MetricsRegistry {
+ public:
+  using Sampler = std::function<double()>;
+
+  /// Registers a named counter.  Names are dotted paths
+  /// ("transport.messages_sent"); each must be unique within the registry.
+  void registerCounter(std::string name, Sampler sampler) {
+    MC_REQUIRE(static_cast<bool>(sampler), "counter '%s' has no sampler",
+               name.c_str());
+    MC_REQUIRE(!has(name), "metric '%s' is already registered", name.c_str());
+    counters_.emplace_back(std::move(name), std::move(sampler));
+  }
+
+  bool has(const std::string& name) const {
+    for (const auto& [n, s] : counters_) {
+      if (n == name) return true;
+    }
+    return false;
+  }
+
+  /// Drops every counter whose name starts with `prefix` (a subsystem
+  /// unregistering on destruction, e.g. transport.* when a Comm dies).
+  void unregisterPrefix(const std::string& prefix) {
+    std::erase_if(counters_, [&](const auto& c) {
+      return c.first.compare(0, prefix.size(), prefix) == 0;
+    });
+  }
+
+  /// Samples every registered counter.
+  Snapshot snapshot() const {
+    Snapshot s;
+    for (const auto& [name, sampler] : counters_) {
+      s.values[name] = sampler();
+    }
+    return s;
+  }
+
+  // --- virtual clock source -------------------------------------------------
+
+  /// Installs the rank's virtual clock (transport::Comm does this on
+  /// construction) so spans can record virtual begin/end times.
+  void setVirtualClock(std::function<double()> clock) {
+    virtualClock_ = std::move(clock);
+  }
+  void clearVirtualClock() { virtualClock_ = nullptr; }
+  /// The rank's virtual time, or 0 when no clock is installed (code running
+  /// outside a world, e.g. a bench's wall-clock part).
+  double virtualNow() const { return virtualClock_ ? virtualClock_() : 0.0; }
+
+  // --- spans ----------------------------------------------------------------
+
+  /// Opens a span; returns its record index (or kDroppedSpan past the
+  /// bound).  Use ScopedSpan (span.h) instead of calling this directly.
+  std::size_t beginSpan(const char* name) {
+    if (spans_.size() >= kMaxSpans) {
+      ++droppedSpans_;
+      ++depth_;  // keep nesting bookkeeping consistent for endSpan
+      return kDroppedSpan;
+    }
+    SpanRecord r;
+    r.name = name;
+    r.depth = depth_++;
+    r.virtualBegin = virtualNow();
+    r.cpuBegin = threadCpuSeconds();
+    spans_.push_back(r);
+    return spans_.size() - 1;
+  }
+
+  void endSpan(std::size_t idx) {
+    --depth_;
+    if (idx == kDroppedSpan) return;
+    SpanRecord& r = spans_[idx];
+    r.virtualEnd = virtualNow();
+    r.cpuEnd = threadCpuSeconds();
+  }
+
+  int spanDepth() const { return depth_; }
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  /// Moves the recorded spans out (e.g. into a TraceCollector) and resets.
+  std::vector<SpanRecord> takeSpans() {
+    std::vector<SpanRecord> out = std::move(spans_);
+    spans_.clear();
+    droppedSpans_ = 0;
+    return out;
+  }
+  void clearSpans() {
+    spans_.clear();
+    droppedSpans_ = 0;
+  }
+  /// Spans not recorded because the per-rank bound was hit.
+  std::size_t droppedSpans() const { return droppedSpans_; }
+
+  static constexpr std::size_t kDroppedSpan =
+      static_cast<std::size_t>(-1);
+
+ private:
+  static constexpr std::size_t kMaxSpans = std::size_t{1} << 20;
+
+  // Registration order; linear lookup is fine (registration is rare and
+  // sampling walks the whole list anyway).
+  std::vector<std::pair<std::string, Sampler>> counters_;
+  std::function<double()> virtualClock_;
+  std::vector<SpanRecord> spans_;
+  int depth_ = 0;
+  std::size_t droppedSpans_ = 0;
+};
+
+/// The calling virtual processor's registry (one per rank thread, like the
+/// per-rank schedule caches; the main thread gets its own for bench code
+/// running outside a world).
+MetricsRegistry& threadRegistry();
+
+/// Registers the four CacheStats-shaped counters of `cache` — any type with
+/// stats() returning a struct with hits/misses/insertions/evictions — under
+/// `prefix`.  The cache must outlive the registry entries (unregisterPrefix
+/// before it dies, or register only cache singletons).
+template <typename C>
+void registerCacheMetrics(MetricsRegistry& reg, const std::string& prefix,
+                          const C& cache) {
+  reg.registerCounter(prefix + ".hits", [&cache] {
+    return static_cast<double>(cache.stats().hits);
+  });
+  reg.registerCounter(prefix + ".misses", [&cache] {
+    return static_cast<double>(cache.stats().misses);
+  });
+  reg.registerCounter(prefix + ".insertions", [&cache] {
+    return static_cast<double>(cache.stats().insertions);
+  });
+  reg.registerCounter(prefix + ".evictions", [&cache] {
+    return static_cast<double>(cache.stats().evictions);
+  });
+}
+
+}  // namespace mc::obs

@@ -1,0 +1,40 @@
+// RAII phase spans over the thread's MetricsRegistry.
+//
+// `ScopedSpan span(obs::phase::kPack);` records a SpanRecord from
+// construction to destruction when observability is enabled, and does
+// *nothing* — one relaxed atomic load — when it is not.  Spans nest (RAII
+// scopes are LIFO), and each record carries its nesting depth, its virtual
+// begin/end (the rank's Comm clock, when installed) and its thread-CPU
+// begin/end.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace mc::obs {
+
+class ScopedSpan {
+ public:
+  /// `name` must outlive the registry (string literal; phase:: constants).
+  explicit ScopedSpan(const char* name) {
+    if (!enabled()) return;
+    reg_ = &threadRegistry();
+    idx_ = reg_->beginSpan(name);
+  }
+  ~ScopedSpan() { end(); }
+
+  /// Ends the span now instead of at scope exit (idempotent).  Spans still
+  /// close LIFO: end an inner span before its enclosing one.
+  void end() {
+    if (reg_ != nullptr) reg_->endSpan(idx_);
+    reg_ = nullptr;
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  MetricsRegistry* reg_ = nullptr;  // null when disabled at construction
+  std::size_t idx_ = 0;
+};
+
+}  // namespace mc::obs

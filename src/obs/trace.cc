@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace mc::obs {
+
+std::vector<RankTrace> TraceCollector::sorted() const {
+  std::vector<RankTrace> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = ranks_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankTrace& a, const RankTrace& b) {
+              return a.program != b.program ? a.program < b.program
+                                            : a.globalRank < b.globalRank;
+            });
+  return out;
+}
+
+std::string renderChromeTrace(const TraceCollector& collector) {
+  JsonWriter j;
+  j.beginObject();
+  j.kv("displayTimeUnit", "ms");
+  j.key("traceEvents");
+  j.beginArray();
+  for (const RankTrace& rank : collector.sorted()) {
+    // Thread/process naming metadata.
+    j.beginObject();
+    j.kv("ph", "M");
+    j.kv("name", "process_name");
+    j.kv("pid", rank.program);
+    j.key("args");
+    j.beginObject();
+    j.kv("name", "program " + std::to_string(rank.program));
+    j.endObject();
+    j.endObject();
+    j.beginObject();
+    j.kv("ph", "M");
+    j.kv("name", "thread_name");
+    j.kv("pid", rank.program);
+    j.kv("tid", rank.globalRank);
+    j.key("args");
+    j.beginObject();
+    j.kv("name", rank.label);
+    j.endObject();
+    j.endObject();
+    for (const SpanRecord& s : rank.spans) {
+      j.beginObject();
+      j.kv("ph", "X");
+      j.kv("name", s.name);
+      j.kv("cat", "phase");
+      j.kv("pid", rank.program);
+      j.kv("tid", rank.globalRank);
+      // Virtual-clock timeline, in microseconds as the format requires.
+      j.kv("ts", s.virtualBegin * 1e6);
+      j.kv("dur", s.virtualSeconds() * 1e6);
+      j.key("args");
+      j.beginObject();
+      j.kv("depth", s.depth);
+      j.kv("cpu_seconds", s.cpuSeconds());
+      j.endObject();
+      j.endObject();
+    }
+  }
+  j.endArray();
+  j.endObject();
+  return j.str() + "\n";
+}
+
+void writeChromeTrace(const std::string& path,
+                      const TraceCollector& collector) {
+  std::ofstream out(path);
+  MC_REQUIRE(out.good(), "cannot open '%s' for writing", path.c_str());
+  out << renderChromeTrace(collector);
+  MC_REQUIRE(out.good(), "write to '%s' failed", path.c_str());
+}
+
+}  // namespace mc::obs

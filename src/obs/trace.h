@@ -1,0 +1,60 @@
+// Chrome trace_event export of recorded phase spans.
+//
+// Each rank hands its registry's spans to a TraceCollector (the only
+// mutex-guarded structure in the obs layer — ranks are threads);
+// writeChromeTrace then emits the Trace Event Format JSON that
+// chrome://tracing and https://ui.perfetto.dev load directly.  Spans become
+// complete ("ph":"X") events on the *virtual* timeline — ts/dur are the
+// rank's virtual clock in microseconds — with the measured thread-CPU
+// seconds attached as an argument, so an overlap pipeline (split-phase
+// sends riding under interior computation) is visually inspectable: the
+// compute span and the recvWait span of one step sit side by side instead
+// of stacking.
+//
+// pid = program id, tid = global rank; metadata events name both.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mc::obs {
+
+/// Spans of one rank, tagged for the trace timeline.
+struct RankTrace {
+  int program = 0;      // trace pid
+  int globalRank = 0;   // trace tid
+  std::string label;    // thread_name metadata ("prog/rank")
+  std::vector<SpanRecord> spans;
+};
+
+class TraceCollector {
+ public:
+  /// Thread-safe; typically called once per rank at the end of a world
+  /// region with threadRegistry().takeSpans().
+  void add(int program, int globalRank, std::string label,
+           std::vector<SpanRecord> spans) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ranks_.push_back(RankTrace{program, globalRank, std::move(label),
+                               std::move(spans)});
+  }
+
+  /// Collected traces, sorted by (program, globalRank) for deterministic
+  /// output regardless of rank completion order.
+  std::vector<RankTrace> sorted() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<RankTrace> ranks_;
+};
+
+/// Renders the Trace Event Format JSON for the collected spans.
+std::string renderChromeTrace(const TraceCollector& collector);
+
+/// Renders and writes to `path`.
+void writeChromeTrace(const std::string& path,
+                      const TraceCollector& collector);
+
+}  // namespace mc::obs

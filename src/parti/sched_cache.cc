@@ -1,6 +1,7 @@
 #include "parti/sched_cache.h"
 
 #include "layout/section_hash.h"
+#include "obs/metrics.h"
 #include "parti/ghost.h"
 #include "parti/section_copy.h"
 
@@ -8,6 +9,12 @@ namespace mc::parti {
 
 sched::KeyedCache<Schedule>& partiScheduleCache() {
   thread_local sched::KeyedCache<Schedule> cache;
+  thread_local bool registered = [] {
+    obs::registerCacheMetrics(obs::threadRegistry(), "parti.sched_cache",
+                              cache);
+    return true;
+  }();
+  (void)registered;
   return cache;
 }
 

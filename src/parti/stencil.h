@@ -15,6 +15,7 @@
 // after finish, so every point reads the same values either way.
 #pragma once
 
+#include "obs/span.h"
 #include "parti/ghost.h"
 
 namespace mc::parti {
@@ -41,6 +42,9 @@ void stencilSweepOverlapped(BlockDistArray<T>& a, Executor<T>& exec,
 
   const layout::RegularSection box = a.ownedBox();
   std::vector<layout::Index> deferred;
+  // Interior sweep riding under the in-flight exchange; in a trace this
+  // compute span sits alongside the exchange's recvWait instead of after it.
+  obs::ScopedSpan interiorSpan(obs::phase::kCompute);
   if (!box.empty()) {
     const layout::Shape& global = a.globalShape();
     const layout::Shape padded = a.desc().paddedShape(comm.rank());
@@ -105,8 +109,10 @@ void stencilSweepOverlapped(BlockDistArray<T>& a, Executor<T>& exec,
       pending.poll();
     }
   }
+  interiorSpan.end();
   pending.finish(a.raw());
 
+  obs::ScopedSpan boundarySpan(obs::phase::kCompute);
   comm.compute([&] {
     // Refresh the snapshot at exactly the offsets the exchange wrote, then
     // compute the deferred points — now reading fresh ghost values.

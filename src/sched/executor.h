@@ -60,6 +60,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/span.h"
 #include "sched/footprint.h"
 #include "sched/plan_exec.h"
 #include "sched/schedule.h"
@@ -325,12 +326,16 @@ class Executor {
   // --- send side ------------------------------------------------------------
 
   void sendPhase(std::span<const T> src, int tag) {
+    obs::ScopedSpan sendSpan(obs::phase::kSend);
     for (std::size_t i = 0; i < sched_->sends.size(); ++i) {
       const OffsetPlan& plan = sched_->sends[i];
       std::vector<std::byte> payload = obtainBuffer(sendPlanBytes_[i]);
-      comm_->compute([&] {
-        packPlan<T>(plan, src, reinterpret_cast<T*>(payload.data()));
-      });
+      {
+        obs::ScopedSpan packSpan(obs::phase::kPack);
+        comm_->compute([&] {
+          packPlan<T>(plan, src, reinterpret_cast<T*>(payload.data()));
+        });
+      }
       if (remoteProgram_ >= 0) {
         comm_->sendBytesTo(remoteProgram_, plan.peer, tag,
                            std::move(payload));
@@ -374,6 +379,7 @@ class Executor {
   // --- local transfers ------------------------------------------------------
 
   void localPhase(std::span<const T> src, std::span<T> dst, bool add) {
+    obs::ScopedSpan span(obs::phase::kApply);
     comm_->compute([&] {
       if (add) {
         if (!sched_->localRuns.empty()) {
@@ -415,6 +421,7 @@ class Executor {
   // --- receive side ---------------------------------------------------------
 
   transport::Message nextMessage(std::size_t k, int tag) {
+    obs::ScopedSpan span(obs::phase::kRecvWait);
     if (drainOrder() == DrainOrder::kPeer) {
       const int peer = sched_->recvs[k].peer;
       return remoteProgram_ >= 0
@@ -460,9 +467,12 @@ class Executor {
       // Unpack straight out of the payload — builders emit disjoint
       // per-peer receive offsets, so these unpacks commute and arrival
       // order cannot change the result.
-      comm_->compute([&] {
-        unpackPlan<T>(plan, transport::payloadView<T>(m).data(), dst);
-      });
+      {
+        obs::ScopedSpan span(obs::phase::kUnpack);
+        comm_->compute([&] {
+          unpackPlan<T>(plan, transport::payloadView<T>(m).data(), dst);
+        });
+      }
       recycle(std::move(m.payload));
     }
   }
@@ -506,6 +516,7 @@ class Executor {
     // identical to the corresponding run()/runAdd().
     for (std::size_t k = 0; k < sched_->recvs.size(); ++k) {
       const OffsetPlan& plan = sched_->recvs[k];
+      obs::ScopedSpan span(obs::phase::kUnpack);
       comm_->compute([&] {
         const T* payload = reinterpret_cast<const T*>(stash_[k].data());
         if (add) {
@@ -554,6 +565,7 @@ class Executor {
       const OffsetPlan& plan = sched_->recvs[k];
       // Same reinterpretation payloadView performs; the slot's size was
       // verified when the message was stashed.
+      obs::ScopedSpan span(obs::phase::kUnpack);
       comm_->compute([&] {
         unpackPlanAdd<T>(plan,
                          reinterpret_cast<const T*>(stash_[k].data()), dst);

@@ -35,6 +35,18 @@ struct CacheStats {
   std::uint64_t evictions = 0;
 };
 
+/// Epoch snapshot/diff, like transport::TrafficStats: the cache activity of
+/// a code region is `after - before` — multi-case benches attribute hits
+/// and misses to the right case without resetting the cumulative counters.
+inline CacheStats operator-(const CacheStats& a, const CacheStats& b) {
+  CacheStats d;
+  d.hits = a.hits - b.hits;
+  d.misses = a.misses - b.misses;
+  d.insertions = a.insertions - b.insertions;
+  d.evictions = a.evictions - b.evictions;
+  return d;
+}
+
 template <typename V>
 class KeyedCache {
  public:

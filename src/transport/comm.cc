@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace mc::transport {
 
 Comm::Comm(WorldState* world, int globalRank)
@@ -12,6 +14,54 @@ Comm::Comm(WorldState* world, int globalRank)
              globalRank < static_cast<int>(world->programOf.size()));
   program_ = world_->programOf[static_cast<size_t>(globalRank)];
   localRank_ = world_->localRankOf[static_cast<size_t>(globalRank)];
+
+  // The rank's counters become visible through its thread registry: obs
+  // snapshots sample these closures, the counters themselves stay plain
+  // struct fields (zero hot-path cost).  Each rank is one thread, so the
+  // thread_local registry *is* the per-rank registry.
+  obs::MetricsRegistry& reg = obs::threadRegistry();
+  reg.setVirtualClock([this] { return clock_; });
+  const auto counter = [&reg, this](const char* name,
+                                    const std::uint64_t TrafficStats::*f) {
+    reg.registerCounter(name, [this, f] {
+      return static_cast<double>(stats_.*f);
+    });
+  };
+  counter("transport.messages_sent", &TrafficStats::messagesSent);
+  counter("transport.bytes_sent", &TrafficStats::bytesSent);
+  counter("transport.messages_received", &TrafficStats::messagesReceived);
+  counter("transport.bytes_received", &TrafficStats::bytesReceived);
+  counter("transport.bytes_copied", &TrafficStats::bytesCopied);
+  counter("transport.allocations", &TrafficStats::allocations);
+  counter("transport.messages_drained_early",
+          &TrafficStats::messagesDrainedEarly);
+  reg.registerCounter("transport.recv_wait_seconds",
+                      [this] { return stats_.recvWaitSeconds; });
+  // The world's shared payload pool (counters are world-wide, not
+  // per-rank; a per-rank snapshot diff shows pool activity in the window).
+  reg.registerCounter("transport.pool.acquires", [this] {
+    return static_cast<double>(world_->pool.stats().acquires);
+  });
+  reg.registerCounter("transport.pool.hits", [this] {
+    return static_cast<double>(world_->pool.stats().hits);
+  });
+  reg.registerCounter("transport.pool.allocations", [this] {
+    return static_cast<double>(world_->pool.stats().allocations);
+  });
+  reg.registerCounter("transport.pool.releases", [this] {
+    return static_cast<double>(world_->pool.stats().releases);
+  });
+  reg.registerCounter("transport.pool.dropped", [this] {
+    return static_cast<double>(world_->pool.stats().dropped);
+  });
+  reg.registerCounter("transport.virtual_seconds",
+                      [this] { return clock_; });
+}
+
+Comm::~Comm() {
+  obs::MetricsRegistry& reg = obs::threadRegistry();
+  reg.unregisterPrefix("transport.");
+  reg.clearVirtualClock();
 }
 
 int Comm::globalRankOf(int prog, int localRank) const {

@@ -90,9 +90,28 @@ struct TrafficStats {
   std::uint64_t messagesDrainedEarly = 0;
 };
 
+/// Epoch snapshot/diff: counters are monotone, so the traffic of a code
+/// region is `after - before`.  This is how multi-case benches attribute
+/// messages/bytes/allocations to the right case without resetStats()
+/// clobbering the cumulative counters the obs registry samples.
+inline TrafficStats operator-(const TrafficStats& a, const TrafficStats& b) {
+  TrafficStats d;
+  d.messagesSent = a.messagesSent - b.messagesSent;
+  d.bytesSent = a.bytesSent - b.bytesSent;
+  d.messagesReceived = a.messagesReceived - b.messagesReceived;
+  d.bytesReceived = a.bytesReceived - b.bytesReceived;
+  d.bytesCopied = a.bytesCopied - b.bytesCopied;
+  d.allocations = a.allocations - b.allocations;
+  d.recvWaitSeconds = a.recvWaitSeconds - b.recvWaitSeconds;
+  d.messagesDrainedEarly = a.messagesDrainedEarly - b.messagesDrainedEarly;
+  return d;
+}
+
 class Comm {
  public:
   Comm(WorldState* world, int globalRank);
+  /// Unregisters this rank's transport.* metrics from the thread registry.
+  ~Comm();
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;

@@ -1,4 +1,5 @@
-// Small statistics accumulators used by the benchmark harness.
+// Small statistics accumulators used by the benchmark harness and the
+// observability layer's cross-rank aggregation.
 #pragma once
 
 #include <algorithm>
@@ -9,6 +10,11 @@
 namespace mc {
 
 /// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+///
+/// An *empty* accumulator is explicit: mean/min/max/stddev return NaN, so a
+/// missing measurement can never masquerade as a real zero in a report (the
+/// JSON emitter turns the NaN into null).  Trivially copyable on purpose —
+/// obs::aggregate ships RunningStats through Comm::allreduceValue.
 class RunningStat {
  public:
   void add(double x) {
@@ -21,17 +27,44 @@ class RunningStat {
     sum_ += x;
   }
 
+  /// Combines another accumulator into this one (Chan et al.'s parallel
+  /// variance formula): the result is equivalent — up to floating-point
+  /// association — to having add()ed both sample streams into one
+  /// accumulator.  Merging with an empty side is exact.
+  void merge(const RunningStat& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const std::size_t n = n_ + o.n_;
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta *
+                       (static_cast<double>(n_) * static_cast<double>(o.n_) /
+                        static_cast<double>(n));
+    mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+    n_ = n;
+  }
+
   std::size_t count() const { return n_; }
   double sum() const { return sum_; }
-  double mean() const { return n_ > 0 ? mean_ : 0.0; }
-  double min() const { return n_ > 0 ? min_ : 0.0; }
-  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double mean() const { return n_ > 0 ? mean_ : nan(); }
+  double min() const { return n_ > 0 ? min_ : nan(); }
+  double max() const { return n_ > 0 ? max_ : nan(); }
+  /// Sample variance (n-1 denominator); 0 for a single sample, NaN when
+  /// empty.
   double variance() const {
+    if (n_ == 0) return nan();
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
   double stddev() const { return std::sqrt(variance()); }
 
  private:
+  static double nan() { return std::numeric_limits<double>::quiet_NaN(); }
+
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;

@@ -1,6 +1,8 @@
 // Unit tests for src/util.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/error.h"
 #include "util/format.h"
 #include "util/rng.h"
@@ -41,11 +43,16 @@ TEST(Error, RequireThrowsWithoutMessage) {
   EXPECT_THROW(MC_REQUIRE(false), Error);
 }
 
-TEST(Stats, Empty) {
+TEST(Stats, EmptyIsExplicit) {
+  // An empty accumulator must be distinguishable from a real zero: NaN, not
+  // 0.0 (the accounting bug fixed with the observability layer).
   RunningStat s;
   EXPECT_EQ(s.count(), 0u);
-  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
-  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_TRUE(std::isnan(s.stddev()));
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
 }
 
 TEST(Stats, KnownValues) {

@@ -1,0 +1,147 @@
+#include "chaos/deref_cache.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace mc::chaos {
+
+using layout::Index;
+
+namespace {
+thread_local DerefCacheStats g_stats;
+}  // namespace
+
+const DerefCacheStats& derefCacheStats() { return g_stats; }
+
+DerefCache& derefCache() {
+  thread_local DerefCache cache;
+  return cache;
+}
+
+void ensureLocalizeMetrics() {
+  obs::MetricsRegistry& reg = obs::threadRegistry();
+  if (reg.has("localize.deref_cache.hits")) return;
+  // Samplers read only the thread_local POD — safe regardless of the
+  // destruction order of the registry and the cache object.
+  reg.registerCounter("localize.deref_cache.hits",
+                      [] { return static_cast<double>(g_stats.hits); });
+  reg.registerCounter("localize.deref_cache.misses",
+                      [] { return static_cast<double>(g_stats.misses); });
+  reg.registerCounter("localize.deref_cache.insertions",
+                      [] { return static_cast<double>(g_stats.insertions); });
+  reg.registerCounter("localize.deref_cache.invalidations", [] {
+    return static_cast<double>(g_stats.invalidations);
+  });
+  reg.registerCounter("localize.deref_cache.evictions",
+                      [] { return static_cast<double>(g_stats.evictions); });
+  reg.registerCounter("localize.deref_cache.entries",
+                      [] { return static_cast<double>(g_stats.entries); });
+}
+
+DerefCache::Shard* DerefCache::findShard(std::uint64_t uid) {
+  for (Shard& s : shards_) {
+    if (s.uid == uid) return &s;
+  }
+  return nullptr;
+}
+
+std::size_t DerefCache::lookupSorted(std::uint64_t uid,
+                                     std::span<const Index> sortedGlobals,
+                                     ElementLoc* out, std::uint8_t* hit) {
+  const Shard* shard = findShard(uid);
+  if (shard == nullptr || shard->keys.empty()) {
+    std::fill(hit, hit + sortedGlobals.size(), std::uint8_t{0});
+    g_stats.misses += sortedGlobals.size();
+    return 0;
+  }
+  std::size_t found = 0;
+  // Queries ascend, so each binary search narrows the next one's range.
+  auto from = shard->keys.begin();
+  for (std::size_t i = 0; i < sortedGlobals.size(); ++i) {
+    const Index g = sortedGlobals[i];
+    from = std::lower_bound(from, shard->keys.end(), g);
+    if (from != shard->keys.end() && *from == g) {
+      out[i] = shard->locs[static_cast<std::size_t>(
+          from - shard->keys.begin())];
+      hit[i] = 1;
+      ++found;
+    } else {
+      hit[i] = 0;
+    }
+  }
+  g_stats.hits += found;
+  g_stats.misses += sortedGlobals.size() - found;
+  return found;
+}
+
+void DerefCache::insertSorted(std::uint64_t uid,
+                              std::span<const Index> globals,
+                              std::span<const ElementLoc> locs) {
+  MC_CHECK(globals.size() == locs.size());
+  if (globals.empty()) return;
+  // Make room under the cap by dropping whole shards, oldest table first
+  // (the incoming shard last — a batch larger than the cap still caches).
+  while (total_ + globals.size() > kMaxEntries && !shards_.empty()) {
+    const bool self = shards_.front().uid == uid;
+    const std::size_t dropped = shards_.front().keys.size();
+    shards_.erase(shards_.begin());
+    total_ -= dropped;
+    g_stats.evictions += dropped;
+    g_stats.entries = total_;
+    if (self) break;  // evicted our own history; start the shard fresh
+  }
+  Shard* shard = findShard(uid);
+  if (shard == nullptr) {
+    shards_.push_back(Shard{uid, {}, {}});
+    shard = &shards_.back();
+  }
+  if (shard->keys.empty()) {
+    shard->keys.assign(globals.begin(), globals.end());
+    shard->locs.assign(locs.begin(), locs.end());
+  } else {
+    // Linear merge of two sorted, disjoint runs.
+    std::vector<Index> keys;
+    std::vector<ElementLoc> merged;
+    keys.reserve(shard->keys.size() + globals.size());
+    merged.reserve(keys.capacity());
+    std::size_t a = 0, b = 0;
+    while (a < shard->keys.size() || b < globals.size()) {
+      if (b == globals.size() ||
+          (a < shard->keys.size() && shard->keys[a] < globals[b])) {
+        keys.push_back(shard->keys[a]);
+        merged.push_back(shard->locs[a]);
+        ++a;
+      } else {
+        keys.push_back(globals[b]);
+        merged.push_back(locs[b]);
+        ++b;
+      }
+    }
+    shard->keys = std::move(keys);
+    shard->locs = std::move(merged);
+  }
+  total_ += globals.size();
+  g_stats.insertions += globals.size();
+  g_stats.entries = total_;
+}
+
+bool DerefCache::invalidate(std::uint64_t uid) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].uid != uid) continue;
+    total_ -= shards_[i].keys.size();
+    shards_.erase(shards_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++g_stats.invalidations;
+    g_stats.entries = total_;
+    return true;
+  }
+  return false;
+}
+
+void DerefCache::clear() {
+  shards_.clear();
+  total_ = 0;
+  g_stats.entries = 0;
+}
+
+}  // namespace mc::chaos

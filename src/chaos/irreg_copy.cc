@@ -15,9 +15,10 @@ sched::Schedule buildIrregCopySchedule(transport::Comm& comm,
   const int me = comm.rank();
   sched::Schedule out;
 
-  // The dominant cost: dereferencing the destination side.
+  // The dominant cost: dereferencing the destination side — batched and
+  // cached, so a rebuild against the same table resolves locally.
   const std::vector<ElementLoc> locs = comm.computeValue([&] {
-    return dstTable.dereference(comm, dstGlobals);
+    return dstTable.dereferenceCached(comm, dstGlobals);
   });
 
   // Group by destination owner; ship the destination local offsets so the

@@ -31,8 +31,21 @@ struct Localized {
 };
 
 /// Collective inspector over the calling processor's reference list.
+/// Batched: references are sort-and-uniqued, resolved through the per-rank
+/// dereference cache (deref_cache.h) in one sorted pass — only distinct
+/// uncached references travel to the table's home processors — and ghost
+/// slots are assigned in first-appearance order, so the result is
+/// bit-identical to localizeReference.
 Localized localize(transport::Comm& comm, const TranslationTable& table,
                    std::span<const layout::Index> refs);
+
+/// The pre-batching inspector, kept as the differential oracle: hash-based
+/// uniquing and an uncached element-wise table dereference on every call.
+/// Same Localized output as localize() (identical ghost layout, local
+/// indices, and schedules); only the cost differs.
+Localized localizeReference(transport::Comm& comm,
+                            const TranslationTable& table,
+                            std::span<const layout::Index> refs);
 
 /// Gather executor: fills `ghost` (size >= ghostCount) with the current
 /// owner values for the localized off-processor references.  Collective.

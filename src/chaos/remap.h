@@ -10,6 +10,7 @@
 // must be rebuilt — the usual inspector/executor contract.
 #pragma once
 
+#include "chaos/deref_cache.h"
 #include "chaos/irreg_copy.h"
 #include "chaos/irreg_array.h"
 #include "sched/executor.h"
@@ -40,6 +41,12 @@ IrregArray<T> remap(const IrregArray<T>& old,
   const sched::Schedule sched =
       buildIrregCopySchedule(comm, *newTable, srcOffsets, dstGlobals);
   sched::execute<T>(comm, sched, old.raw(), fresh.raw(), comm.nextUserTag());
+  // The data just migrated: locations cached for the old distribution are
+  // the stale-cache bug class, so drop the old table's shard on this rank
+  // (remap is collective — every participant does).  Inspector results
+  // built against `old` were already invalidated by contract; this makes
+  // the dereference cache honor the same contract.
+  derefCache().invalidate(old.table().uid());
   return fresh;
 }
 

@@ -1,12 +1,24 @@
 #include "chaos/ttable.h"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
+#include "chaos/deref_cache.h"
 #include "util/hash.h"
 
 namespace mc::chaos {
 
 using layout::Index;
+
+namespace {
+// Table identities for the dereference cache: monotone, never reused.
+// 0 is reserved for "no table" so a default-constructed uid never matches.
+std::uint64_t nextTableUid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace
 
 TranslationTable TranslationTable::build(
     transport::Comm& comm, std::span<const Index> myGlobals, Index globalSize,
@@ -18,6 +30,7 @@ TranslationTable TranslationTable::build(
   t.modeledQueryCost_ = modeledQueryCostSeconds;
   t.globalSize_ = globalSize;
   t.myRank_ = comm.rank();
+  t.uid_ = nextTableUid();
   const int np = comm.size();
   t.homeBlock_ = (globalSize + np - 1) / np;
   t.localCounts_ = [&] {
@@ -107,6 +120,7 @@ TranslationTable TranslationTable::replicatedFromEntries(
   TranslationTable t;
   t.storage_ = Storage::kReplicated;
   t.modeledQueryCost_ = modeledQueryCostSeconds;
+  t.uid_ = nextTableUid();
   t.globalSize_ = static_cast<Index>(entries.size());
   t.homeBlock_ = (t.globalSize_ + nprocs - 1) / nprocs;
   t.localCounts_.assign(static_cast<size_t>(nprocs), 0);
@@ -168,6 +182,108 @@ std::vector<ElementLoc> TranslationTable::dereference(
     const auto& pos = posOf[static_cast<size_t>(h)];
     MC_CHECK(reply.size() == pos.size());
     for (size_t k = 0; k < reply.size(); ++k) out[pos[k]] = reply[k];
+  }
+  return out;
+}
+
+std::vector<ElementLoc> TranslationTable::dereferenceCached(
+    transport::Comm& comm, std::span<const Index> globals) const {
+  ensureLocalizeMetrics();
+  DerefCache& cache = derefCache();
+  std::vector<ElementLoc> out(globals.size());
+
+  // Sort-and-unique the batch, remembering each query's distinct slot so
+  // results scatter back in query order.  One sort replaces the per-element
+  // hash probes of the unbatched path.  Host-side batching work is not
+  // charged to the virtual clock — same convention as dereference(), whose
+  // per-element grouping also runs uncharged: the modeled per-query cost
+  // (advance below) is the model of lookup work, and charging measured CPU
+  // on top of it would double-count.  Call sites that want the host cost on
+  // the clock wrap the call in computeValue (as buildIrregCopySchedule
+  // does).
+  std::vector<std::pair<Index, std::uint32_t>> order(globals.size());
+  std::vector<std::uint32_t> uniqOf(globals.size());
+  std::vector<Index> uniq;
+  std::vector<ElementLoc> locs;
+  std::vector<std::uint8_t> hit;
+  std::vector<Index> missG;
+  std::vector<std::uint32_t> missAt;
+  for (std::size_t i = 0; i < globals.size(); ++i) {
+    const Index g = globals[i];
+    MC_REQUIRE(g >= 0 && g < globalSize_, "global index %lld out of range",
+               static_cast<long long>(g));
+    order[i] = {g, static_cast<std::uint32_t>(i)};
+  }
+  std::sort(order.begin(), order.end());
+  uniq.reserve(order.size());
+  for (const auto& [g, pos] : order) {
+    if (uniq.empty() || uniq.back() != g) uniq.push_back(g);
+    uniqOf[pos] = static_cast<std::uint32_t>(uniq.size() - 1);
+  }
+  locs.resize(uniq.size());
+  hit.resize(uniq.size());
+  cache.lookupSorted(uid_, uniq, locs.data(), hit.data());
+  for (std::size_t u = 0; u < uniq.size(); ++u) {
+    if (hit[u]) continue;
+    missG.push_back(uniq[u]);
+    missAt.push_back(static_cast<std::uint32_t>(u));
+  }
+
+  std::vector<ElementLoc> missLocs(missG.size());
+  if (storage_ == Storage::kReplicated) {
+    for (std::size_t k = 0; k < missG.size(); ++k) {
+      missLocs[k] = entries_[static_cast<std::size_t>(missG[k])];
+    }
+    // Only genuine misses pay the modeled lookup charge — the cache's win.
+    comm.advance(modeledQueryCost_ * static_cast<double>(missG.size()));
+  } else {
+    // missG ascends, so each home processor's queries form one contiguous
+    // segment: a single pass splits the batch page by page.  The exchange
+    // is unconditional — ranks whose queries all hit still participate.
+    const int np = comm.size();
+    std::vector<std::vector<Index>> queryTo(static_cast<std::size_t>(np));
+    std::size_t k = 0;
+    while (k < missG.size()) {
+      const int home = homeOf(missG[k]);
+      std::size_t end = k;
+      while (end < missG.size() && homeOf(missG[end]) == home) ++end;
+      auto& lane = queryTo[static_cast<std::size_t>(home)];
+      lane.assign(missG.begin() + static_cast<std::ptrdiff_t>(k),
+                  missG.begin() + static_cast<std::ptrdiff_t>(end));
+      k = end;
+    }
+    auto queries = comm.alltoall(queryTo);
+    const Index sliceLo = homeBlock_ * myRank_;
+    std::size_t answered = 0;
+    for (const auto& qs : queries) answered += qs.size();
+    comm.advance(modeledQueryCost_ * static_cast<double>(answered));
+    std::vector<std::vector<ElementLoc>> answers(
+        static_cast<std::size_t>(np));
+    for (int q = 0; q < np; ++q) {
+      const auto& qs = queries[static_cast<std::size_t>(q)];
+      auto& ans = answers[static_cast<std::size_t>(q)];
+      ans.reserve(qs.size());
+      for (Index g : qs) {
+        const Index slot = g - sliceLo;
+        MC_CHECK(slot >= 0 && slot < static_cast<Index>(entries_.size()));
+        ans.push_back(entries_[static_cast<std::size_t>(slot)]);
+      }
+    }
+    auto replies = comm.alltoall(answers);
+    // Replies land in home order == the order the segments were carved.
+    std::size_t filled = 0;
+    for (const auto& reply : replies) {
+      for (const ElementLoc& loc : reply) missLocs[filled++] = loc;
+    }
+    MC_CHECK(filled == missG.size());
+  }
+
+  for (std::size_t m = 0; m < missG.size(); ++m) {
+    locs[missAt[m]] = missLocs[m];
+  }
+  cache.insertSorted(uid_, missG, missLocs);
+  for (std::size_t i = 0; i < globals.size(); ++i) {
+    out[i] = locs[uniqOf[i]];
   }
   return out;
 }

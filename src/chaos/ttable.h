@@ -72,6 +72,18 @@ class TranslationTable {
   std::vector<ElementLoc> dereference(
       transport::Comm& comm, std::span<const layout::Index> globals) const;
 
+  /// Batched, cached dereference — same collective contract and same
+  /// results as dereference(), different cost model.  Queries are
+  /// sort-and-uniqued, the per-rank dereference cache (deref_cache.h) is
+  /// probed in one sorted pass, and only the distinct *misses* travel to
+  /// their home processors (grouped page-contiguously by the sort); the
+  /// modeled per-element query cost is likewise charged per miss only.
+  /// Results are inserted into the cache under this table's uid() for
+  /// reuse by later inspector calls.  Every processor must call this
+  /// (distributed tables exchange even when a rank's queries all hit).
+  std::vector<ElementLoc> dereferenceCached(
+      transport::Comm& comm, std::span<const layout::Index> globals) const;
+
   /// Local lookup; requires replicated storage.
   ElementLoc dereferenceLocal(layout::Index g) const;
 
@@ -88,6 +100,12 @@ class TranslationTable {
 
   /// Modeled per-element dereference cost (see build()).
   double modeledQueryCost() const { return modeledQueryCost_; }
+
+  /// Process-unique identity of this table, minted at construction.  The
+  /// per-rank dereference cache keys on it: uids are never reused, so a
+  /// cache entry can only ever describe the table that minted it (a new
+  /// table at a recycled address cannot alias a stale entry).
+  std::uint64_t uid() const { return uid_; }
 
   /// Communication-free digest of the locally held table state: the storage
   /// policy, the global extent, and this processor's entry shard.  For a
@@ -108,6 +126,7 @@ class TranslationTable {
   std::vector<ElementLoc> entries_;
   int myRank_ = 0;
   double modeledQueryCost_ = 0.0;
+  std::uint64_t uid_ = 0;
 };
 
 }  // namespace mc::chaos

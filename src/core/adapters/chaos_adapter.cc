@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "core/schedule_builder.h"
+
 namespace mc::core {
 
 using chaos::ElementLoc;
@@ -96,7 +98,14 @@ std::vector<LinLoc> ChaosAdapter::enumerateOwned(const DistObject& obj,
     base += rn;
   }
 
-  const std::vector<ElementLoc> locs = table.dereference(comm, sliceGlobals);
+  // The production path resolves its slice through the batched per-rank
+  // dereference cache; the element-wise oracle pipeline keeps the uncached
+  // per-element dereference so the differential benches compare the real
+  // inspector costs.
+  const std::vector<ElementLoc> locs =
+      testing::buildElementwiseEnabled()
+          ? table.dereference(comm, sliceGlobals)
+          : table.dereferenceCached(comm, sliceGlobals);
 
   // Route (lin, offset) to each element's owner.
   struct Rec {

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "sched/kernels.h"
 
 namespace mc::core {
 
@@ -21,6 +22,10 @@ thread_local BuildStats g_buildStats;
 // itself resets per build, so it cannot serve snapshot/diff accounting).
 thread_local std::uint64_t g_buildCount = 0;
 thread_local std::uint64_t g_tableBytesTotal = 0;
+thread_local std::uint64_t g_kernelContiguous = 0;
+thread_local std::uint64_t g_kernelStrided = 0;
+thread_local std::uint64_t g_kernelRunList = 0;
+thread_local std::uint64_t g_kernelIndexList = 0;
 
 /// Registers the builder's counters into the rank's registry (idempotent;
 /// called from every build entry point so the metrics exist as soon as a
@@ -33,12 +38,54 @@ void ensureBuildMetrics() {
   reg.registerCounter("build.ownership_table_bytes_total", [] {
     return static_cast<double>(g_tableBytesTotal);
   });
+  reg.registerCounter("build.kernel_contiguous_plans", [] {
+    return static_cast<double>(g_kernelContiguous);
+  });
+  reg.registerCounter("build.kernel_strided_plans", [] {
+    return static_cast<double>(g_kernelStrided);
+  });
+  reg.registerCounter("build.kernel_run_list_plans", [] {
+    return static_cast<double>(g_kernelRunList);
+  });
+  reg.registerCounter("build.kernel_index_list_plans", [] {
+    return static_cast<double>(g_kernelIndexList);
+  });
+}
+
+/// Classifies the built plans by the executor kernel each will dispatch to
+/// (sched::classifyPlan is a pure function of the plan, so this is exactly
+/// what a later Executor bind decides).
+void recordKernelDispatch(const sched::Schedule& plan) {
+  const auto note = [](const sched::OffsetPlan& p) {
+    switch (sched::classifyPlan(p)) {
+      case sched::KernelKind::kEmpty:
+        break;
+      case sched::KernelKind::kContiguous:
+        ++g_buildStats.kernelContiguousPlans;
+        break;
+      case sched::KernelKind::kStrided:
+        ++g_buildStats.kernelStridedPlans;
+        break;
+      case sched::KernelKind::kRunList:
+        ++g_buildStats.kernelRunListPlans;
+        break;
+      case sched::KernelKind::kIndexList:
+        ++g_buildStats.kernelIndexListPlans;
+        break;
+    }
+  };
+  for (const sched::OffsetPlan& p : plan.sends) note(p);
+  for (const sched::OffsetPlan& p : plan.recvs) note(p);
 }
 
 /// Accounts one finished build into the monotone counters.
 void noteBuildDone() {
   ++g_buildCount;
   g_tableBytesTotal += g_buildStats.ownershipTableBytes;
+  g_kernelContiguous += g_buildStats.kernelContiguousPlans;
+  g_kernelStrided += g_buildStats.kernelStridedPlans;
+  g_kernelRunList += g_buildStats.kernelRunListPlans;
+  g_kernelIndexList += g_buildStats.kernelIndexListPlans;
 }
 
 // ---------------------------------------------------------------------------
@@ -1238,6 +1285,7 @@ McSchedule computeSchedule(transport::Comm& comm, const DistObject& srcObj,
               : buildIntraCooperation(comm, srcLib, srcObj, srcSet, dstLib,
                                       dstObj, dstSet, n);
   }
+  recordKernelDispatch(out.plan);
   noteBuildDone();
   return out;
 }
@@ -1257,6 +1305,7 @@ McSchedule computeScheduleSend(transport::Comm& comm, const DistObject& srcObj,
                                   /*isSender=*/true, elementwise)
           : buildInterCooperationSend(comm, srcLib, srcObj, srcSet,
                                       remoteProgram, elementwise);
+  recordKernelDispatch(out.plan);
   noteBuildDone();
   return out;
 }
@@ -1280,6 +1329,7 @@ McSchedule computeScheduleRecv(transport::Comm& comm, const DistObject& dstObj,
                       : buildInterCooperationRecv(comm, dstLib, dstObj,
                                                   dstSet, remoteProgram);
   }
+  recordKernelDispatch(out.plan);
   noteBuildDone();
   return out;
 }
@@ -1298,6 +1348,9 @@ const BuildStats& lastBuildStats() { return g_buildStats; }
 namespace testing {
 bool buildElementwiseForTest(bool enable) {
   return g_buildElementwise.exchange(enable, std::memory_order_relaxed);
+}
+bool buildElementwiseEnabled() {
+  return g_buildElementwise.load(std::memory_order_relaxed);
 }
 }  // namespace testing
 

@@ -81,6 +81,14 @@ McSchedule reverseSchedule(const McSchedule& sched);
 /// per element.
 struct BuildStats {
   std::size_t ownershipTableBytes = 0;
+  /// Built plans (sends + recvs) by the executor kernel each will dispatch
+  /// to at bind time (sched::classifyPlan) — recorded at build time, so
+  /// the dispatch distribution of a schedule is known before any executor
+  /// binds it.
+  std::size_t kernelContiguousPlans = 0;
+  std::size_t kernelStridedPlans = 0;
+  std::size_t kernelRunListPlans = 0;
+  std::size_t kernelIndexListPlans = 0;
 };
 const BuildStats& lastBuildStats();
 
@@ -92,6 +100,10 @@ namespace testing {
 /// and the build benchmark.  Set it outside World::run regions only — it
 /// is global, not per-rank.
 bool buildElementwiseForTest(bool enable);
+/// Whether the element-wise reference pipeline is currently selected.
+/// Production-path optimizations that must not leak into the oracle (e.g.
+/// the chaos dereference cache) consult this.
+bool buildElementwiseEnabled();
 }  // namespace testing
 
 }  // namespace mc::core

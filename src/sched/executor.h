@@ -62,6 +62,7 @@
 
 #include "obs/span.h"
 #include "sched/footprint.h"
+#include "sched/kernels.h"
 #include "sched/plan_exec.h"
 #include "sched/schedule.h"
 #include "transport/comm.h"
@@ -321,6 +322,19 @@ class Executor {
       slots_.push_back(s);
     }
     stash_.resize(sched_->recvs.size());
+    // Compile the dispatch kernels once per bind (see kernels.h): every
+    // run thereafter moves bytes through the variant the plan's shape
+    // earned instead of re-branching per run.
+    ensureKernelMetrics();
+    sendKernels_.reserve(sched_->sends.size());
+    for (const OffsetPlan& p : sched_->sends) {
+      sendKernels_.push_back(PlanKernel::compile(p));
+    }
+    recvKernels_.reserve(sched_->recvs.size());
+    for (const OffsetPlan& p : sched_->recvs) {
+      recvKernels_.push_back(PlanKernel::compile(p));
+    }
+    localKernel_ = LocalKernel::compile(*sched_);
   }
 
   // --- send side ------------------------------------------------------------
@@ -333,7 +347,12 @@ class Executor {
       {
         obs::ScopedSpan packSpan(obs::phase::kPack);
         comm_->compute([&] {
-          packPlan<T>(plan, src, reinterpret_cast<T*>(payload.data()));
+          if (kernelDispatchEnabled()) {
+            packKernel<T>(sendKernels_[i], plan, src,
+                          reinterpret_cast<T*>(payload.data()));
+          } else {
+            packPlan<T>(plan, src, reinterpret_cast<T*>(payload.data()));
+          }
         });
       }
       if (remoteProgram_ >= 0) {
@@ -381,6 +400,17 @@ class Executor {
   void localPhase(std::span<const T> src, std::span<T> dst, bool add) {
     obs::ScopedSpan span(obs::phase::kApply);
     comm_->compute([&] {
+      if (kernelDispatchEnabled() &&
+          localKernel_.kind == KernelKind::kIndexList) {
+        // Flattened local transfers; compile() only picks kIndexList when
+        // element order matches copyLocalRuns exactly (see kernels.h).
+        if (add) {
+          localKernel_.add(src, dst);
+        } else {
+          localKernel_.copy(src, dst);
+        }
+        return;
+      }
       if (add) {
         if (!sched_->localRuns.empty()) {
           addLocalRuns(std::span<const LocalRun>(sched_->localRuns), src,
@@ -470,7 +500,12 @@ class Executor {
       {
         obs::ScopedSpan span(obs::phase::kUnpack);
         comm_->compute([&] {
-          unpackPlan<T>(plan, transport::payloadView<T>(m).data(), dst);
+          if (kernelDispatchEnabled()) {
+            unpackKernel<T>(recvKernels_[k], plan,
+                            transport::payloadView<T>(m).data(), dst);
+          } else {
+            unpackPlan<T>(plan, transport::payloadView<T>(m).data(), dst);
+          }
         });
       }
       recycle(std::move(m.payload));
@@ -519,7 +554,13 @@ class Executor {
       obs::ScopedSpan span(obs::phase::kUnpack);
       comm_->compute([&] {
         const T* payload = reinterpret_cast<const T*>(stash_[k].data());
-        if (add) {
+        if (kernelDispatchEnabled()) {
+          if (add) {
+            unpackAddKernel<T>(recvKernels_[k], plan, payload, dst);
+          } else {
+            unpackKernel<T>(recvKernels_[k], plan, payload, dst);
+          }
+        } else if (add) {
           unpackPlanAdd<T>(plan, payload, dst);
         } else {
           unpackPlan<T>(plan, payload, dst);
@@ -567,8 +608,12 @@ class Executor {
       // verified when the message was stashed.
       obs::ScopedSpan span(obs::phase::kUnpack);
       comm_->compute([&] {
-        unpackPlanAdd<T>(plan,
-                         reinterpret_cast<const T*>(stash_[k].data()), dst);
+        const T* payload = reinterpret_cast<const T*>(stash_[k].data());
+        if (kernelDispatchEnabled()) {
+          unpackAddKernel<T>(recvKernels_[k], plan, payload, dst);
+        } else {
+          unpackPlanAdd<T>(plan, payload, dst);
+        }
       });
       recycle(std::move(stash_[k]));
       stash_[k] = {};
@@ -582,6 +627,9 @@ class Executor {
 
   std::vector<std::size_t> sendPlanBytes_;  // per send plan, fixed at bind
   std::vector<RecvSlot> slots_;             // sorted by srcGlobal
+  std::vector<PlanKernel> sendKernels_;     // compiled at bind, per plan
+  std::vector<PlanKernel> recvKernels_;
+  LocalKernel localKernel_;
   std::uint64_t runEpoch_ = 0;
   std::vector<std::vector<std::byte>> freeBufs_;  // recycled payloads
   std::vector<std::vector<std::byte>> stash_;     // runAdd deferral slots

@@ -1,0 +1,496 @@
+// Vectorized pack/unpack/scatter-add kernels with plan-compile-time dispatch.
+//
+// The run-wise loops in run_plan.h are ideal when a plan is a few long
+// (start,count,stride) runs, but irregular schedules degenerate into
+// thousands of count-1/count-2 runs and the per-run branch + loop setup
+// dominates — the executor spends its time dispatching, not moving bytes.
+// A PlanKernel classifies each OffsetPlan ONCE, when an Executor binds:
+//
+//   kContiguous — one stride-1 run: a single memcpy;
+//   kStrided    — one constant-stride run: a tight strided loop;
+//   kRunList    — few, long runs: the existing run-wise loop;
+//   kIndexList  — many short runs (or an uncompressed plan): the runs are
+//                 flattened back to one offset array and executed as a
+//                 branch-free gather/scatter loop the compiler can
+//                 auto-vectorize (`out[i] = src[idx[i]]`).
+//
+// Element order is preserved exactly in every variant, so results —
+// including the peer-ordered floating-point `+=` of scatter-add — are
+// bitwise identical to the run-wise and element-wise paths.  LocalKernel is
+// the same idea for a schedule's local transfers; it flattens only runs
+// whose element-order semantics match copyLocalRuns (count-1 runs, and
+// strided runs that never hit the memmove fast path), so aliased
+// src/dst buffers behave identically.
+//
+// Dispatch decisions and kernel executions are counted per rank and
+// surfaced through the obs MetricsRegistry as kernel.* metrics.
+// setKernelDispatch(false) routes executors back to the pre-kernel
+// run-wise loops — the A/B switch the benches and differential tests use.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sched/run_plan.h"
+#include "sched/schedule.h"
+
+namespace mc::sched {
+
+enum class KernelKind : std::uint8_t {
+  kEmpty,       // no elements: nothing to do
+  kContiguous,  // single stride-1 run -> memcpy
+  kStrided,     // single constant-stride run -> strided loop
+  kRunList,     // few long runs -> run-wise loop (run_plan.h)
+  kIndexList,   // many short runs -> flattened branch-free gather/scatter
+};
+
+inline const char* kernelKindName(KernelKind k) {
+  switch (k) {
+    case KernelKind::kEmpty: return "empty";
+    case KernelKind::kContiguous: return "contiguous";
+    case KernelKind::kStrided: return "strided";
+    case KernelKind::kRunList: return "run_list";
+    case KernelKind::kIndexList: return "index_list";
+  }
+  return "?";
+}
+
+namespace detail {
+inline std::atomic<bool>& kernelDispatchFlag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+/// Runs shorter than this on average flatten to an index list; at or above
+/// it the per-run loop already amortizes its dispatch overhead.
+inline constexpr layout::Index kShortRunAvg = 4;
+}  // namespace detail
+
+namespace detail {
+/// Prefetch distance for the index-list gather/scatter loops: far enough
+/// ahead to hide a cache miss behind ~16 iterations of 2-3ns each, near
+/// enough that the line is still resident when the loop reaches it.
+inline constexpr std::size_t kPrefetchAhead = 16;
+}  // namespace detail
+
+inline bool kernelDispatchEnabled() {
+  return detail::kernelDispatchFlag().load(std::memory_order_relaxed);
+}
+/// Process-wide A/B switch (like setDrainOrder): false restores the
+/// pre-kernel run-wise loops.  Set it outside World::run regions (or under
+/// a barrier) — it is read by every virtual processor.
+inline void setKernelDispatch(bool on) {
+  detail::kernelDispatchFlag().store(on, std::memory_order_relaxed);
+}
+
+/// Monotone per-rank kernel telemetry: how many plans compiled to each
+/// kernel at bind time, and how many kernel executions ran by kind.
+struct KernelStats {
+  std::uint64_t dispatchContiguous = 0;
+  std::uint64_t dispatchStrided = 0;
+  std::uint64_t dispatchRunList = 0;
+  std::uint64_t dispatchIndexList = 0;
+  std::uint64_t execContiguous = 0;
+  std::uint64_t execStrided = 0;
+  std::uint64_t execRunList = 0;
+  std::uint64_t execIndexList = 0;
+};
+
+inline KernelStats& kernelStats() {
+  thread_local KernelStats stats;
+  return stats;
+}
+
+/// Registers the kernel.* samplers into the rank's registry (idempotent;
+/// every Executor bind calls it, so the metrics exist wherever kernels do).
+inline void ensureKernelMetrics() {
+  obs::MetricsRegistry& reg = obs::threadRegistry();
+  if (reg.has("kernel.dispatch.contiguous")) return;
+  const KernelStats& s = kernelStats();
+  reg.registerCounter("kernel.dispatch.contiguous", [&s] {
+    return static_cast<double>(s.dispatchContiguous);
+  });
+  reg.registerCounter("kernel.dispatch.strided", [&s] {
+    return static_cast<double>(s.dispatchStrided);
+  });
+  reg.registerCounter("kernel.dispatch.run_list", [&s] {
+    return static_cast<double>(s.dispatchRunList);
+  });
+  reg.registerCounter("kernel.dispatch.index_list", [&s] {
+    return static_cast<double>(s.dispatchIndexList);
+  });
+  reg.registerCounter("kernel.exec.contiguous", [&s] {
+    return static_cast<double>(s.execContiguous);
+  });
+  reg.registerCounter("kernel.exec.strided", [&s] {
+    return static_cast<double>(s.execStrided);
+  });
+  reg.registerCounter("kernel.exec.run_list", [&s] {
+    return static_cast<double>(s.execRunList);
+  });
+  reg.registerCounter("kernel.exec.index_list", [&s] {
+    return static_cast<double>(s.execIndexList);
+  });
+}
+
+/// The kernel a plan dispatches to — a pure function of the plan, so the
+/// schedule builder can record the dispatch distribution in BuildStats
+/// without materializing anything.
+inline KernelKind classifyPlan(const OffsetPlan& plan) {
+  if (plan.elementCount() == 0) return KernelKind::kEmpty;
+  if (plan.runs.empty()) return KernelKind::kIndexList;  // uncompressed
+  if (plan.runs.size() == 1) {
+    const OffsetRun& run = plan.runs.front();
+    return (run.stride == 1 || run.count == 1) ? KernelKind::kContiguous
+                                               : KernelKind::kStrided;
+  }
+  const auto avg = plan.elementCount() /
+                   static_cast<layout::Index>(plan.runs.size());
+  return avg < detail::kShortRunAvg ? KernelKind::kIndexList
+                                    : KernelKind::kRunList;
+}
+
+/// A compiled pack/unpack kernel for one OffsetPlan.  Compiled once at
+/// Executor bind; the plan must outlive the kernel (the executor already
+/// requires the schedule to outlive it).
+struct PlanKernel {
+  KernelKind kind = KernelKind::kRunList;
+  OffsetRun run{};  // kContiguous / kStrided
+  /// kIndexList offsets expanded from the plan's runs.  Empty when the
+  /// plan itself carries the offset list (uncompressed plans), in which
+  /// case the kernel reads plan.offsets directly.
+  std::vector<layout::Index> ownedIndices;
+  /// Narrowed copy of the kIndexList offsets.  Index is 64-bit but local
+  /// offsets in any real schedule fit 32; the narrow stream halves the
+  /// index bytes the gather/scatter loops pull through the cache.  Empty
+  /// when some offset does not fit (the wide loops take over).
+  std::vector<std::uint32_t> idx32;
+
+  static PlanKernel compile(const OffsetPlan& plan) {
+    PlanKernel k;
+    k.kind = classifyPlan(plan);
+    KernelStats& s = kernelStats();
+    switch (k.kind) {
+      case KernelKind::kEmpty:
+        break;
+      case KernelKind::kContiguous:
+        k.run = plan.runs.front();
+        ++s.dispatchContiguous;
+        break;
+      case KernelKind::kStrided:
+        k.run = plan.runs.front();
+        ++s.dispatchStrided;
+        break;
+      case KernelKind::kRunList:
+        ++s.dispatchRunList;
+        break;
+      case KernelKind::kIndexList: {
+        if (!plan.runs.empty()) {
+          k.ownedIndices =
+              expandOffsets(std::span<const OffsetRun>(plan.runs));
+        }
+        const std::span<const layout::Index> idx = k.indices(plan);
+        k.idx32 = narrowIndices(idx);
+        ++s.dispatchIndexList;
+        break;
+      }
+    }
+    return k;
+  }
+
+  /// The flattened offset list of a kIndexList kernel (wide form).
+  std::span<const layout::Index> indices(const OffsetPlan& plan) const {
+    return ownedIndices.empty() ? std::span<const layout::Index>(plan.offsets)
+                                : std::span<const layout::Index>(ownedIndices);
+  }
+
+  /// Offsets narrowed to 32 bits, or empty when any is out of range.
+  static std::vector<std::uint32_t> narrowIndices(
+      std::span<const layout::Index> idx) {
+    std::vector<std::uint32_t> out;
+    for (const layout::Index off : idx) {
+      if (off < 0 || off > static_cast<layout::Index>(UINT32_MAX)) return {};
+    }
+    out.reserve(idx.size());
+    for (const layout::Index off : idx) {
+      out.push_back(static_cast<std::uint32_t>(off));
+    }
+    return out;
+  }
+};
+
+/// Gather `plan`'s source elements into `out` (plan.elementCount()
+/// elements), dispatched through the compiled kernel.  Element order — and
+/// therefore every result — is identical to packPlan.
+template <typename T>
+void packKernel(const PlanKernel& k, const OffsetPlan& plan,
+                std::span<const T> src, T* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  KernelStats& s = kernelStats();
+  switch (k.kind) {
+    case KernelKind::kEmpty:
+      return;
+    case KernelKind::kContiguous:
+      ++s.execContiguous;
+      std::memcpy(out, src.data() + k.run.start,
+                  static_cast<size_t>(k.run.count) * sizeof(T));
+      return;
+    case KernelKind::kStrided: {
+      ++s.execStrided;
+      const T* base = src.data() + k.run.start;
+      const layout::Index stride = k.run.stride;
+      const layout::Index n = k.run.count;
+      for (layout::Index i = 0; i < n; ++i) out[i] = base[i * stride];
+      return;
+    }
+    case KernelKind::kRunList:
+      ++s.execRunList;
+      packRuns(src, std::span<const OffsetRun>(plan.runs), out);
+      return;
+    case KernelKind::kIndexList: {
+      ++s.execIndexList;
+      const T* base = src.data();
+      if (!k.idx32.empty()) {
+        const std::uint32_t* idx = k.idx32.data();
+        const size_t n = k.idx32.size();
+        constexpr size_t ahead = detail::kPrefetchAhead;
+        for (size_t i = 0; i < n; ++i) {
+          if (i + ahead < n) __builtin_prefetch(base + idx[i + ahead], 0);
+          out[i] = base[idx[i]];
+        }
+        return;
+      }
+      const std::span<const layout::Index> idx = k.indices(plan);
+      const size_t n = idx.size();
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = base[static_cast<size_t>(idx[i])];
+      }
+      return;
+    }
+  }
+}
+
+/// Scatter `buf` (pack order) to `plan`'s destination elements.
+template <typename T>
+void unpackKernel(const PlanKernel& k, const OffsetPlan& plan, const T* buf,
+                  std::span<T> dst) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  KernelStats& s = kernelStats();
+  switch (k.kind) {
+    case KernelKind::kEmpty:
+      return;
+    case KernelKind::kContiguous:
+      ++s.execContiguous;
+      std::memcpy(dst.data() + k.run.start, buf,
+                  static_cast<size_t>(k.run.count) * sizeof(T));
+      return;
+    case KernelKind::kStrided: {
+      ++s.execStrided;
+      T* base = dst.data() + k.run.start;
+      const layout::Index stride = k.run.stride;
+      const layout::Index n = k.run.count;
+      for (layout::Index i = 0; i < n; ++i) base[i * stride] = buf[i];
+      return;
+    }
+    case KernelKind::kRunList:
+      ++s.execRunList;
+      unpackRuns(std::span<const OffsetRun>(plan.runs), buf, dst);
+      return;
+    case KernelKind::kIndexList: {
+      ++s.execIndexList;
+      T* base = dst.data();
+      if (!k.idx32.empty()) {
+        const std::uint32_t* idx = k.idx32.data();
+        const size_t n = k.idx32.size();
+        constexpr size_t ahead = detail::kPrefetchAhead;
+        for (size_t i = 0; i < n; ++i) {
+          if (i + ahead < n) __builtin_prefetch(base + idx[i + ahead], 1);
+          base[idx[i]] = buf[i];
+        }
+        return;
+      }
+      const std::span<const layout::Index> idx = k.indices(plan);
+      const size_t n = idx.size();
+      for (size_t i = 0; i < n; ++i) {
+        base[static_cast<size_t>(idx[i])] = buf[i];
+      }
+      return;
+    }
+  }
+}
+
+/// Accumulating scatter (dst[off] += value), in pack order — the same
+/// element order as unpackRunsAdd, so floating-point sums stay bitwise
+/// identical.
+template <typename T>
+void unpackAddKernel(const PlanKernel& k, const OffsetPlan& plan,
+                     const T* buf, std::span<T> dst) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  KernelStats& s = kernelStats();
+  switch (k.kind) {
+    case KernelKind::kEmpty:
+      return;
+    case KernelKind::kContiguous: {
+      ++s.execContiguous;
+      T* base = dst.data() + k.run.start;
+      const layout::Index n = k.run.count;
+      for (layout::Index i = 0; i < n; ++i) base[i] += buf[i];
+      return;
+    }
+    case KernelKind::kStrided: {
+      ++s.execStrided;
+      T* base = dst.data() + k.run.start;
+      const layout::Index stride = k.run.stride;
+      const layout::Index n = k.run.count;
+      for (layout::Index i = 0; i < n; ++i) base[i * stride] += buf[i];
+      return;
+    }
+    case KernelKind::kRunList:
+      ++s.execRunList;
+      unpackRunsAdd(std::span<const OffsetRun>(plan.runs), buf, dst);
+      return;
+    case KernelKind::kIndexList: {
+      ++s.execIndexList;
+      T* base = dst.data();
+      if (!k.idx32.empty()) {
+        const std::uint32_t* idx = k.idx32.data();
+        const size_t n = k.idx32.size();
+        constexpr size_t ahead = detail::kPrefetchAhead;
+        for (size_t i = 0; i < n; ++i) {
+          if (i + ahead < n) __builtin_prefetch(base + idx[i + ahead], 1);
+          base[idx[i]] += buf[i];
+        }
+        return;
+      }
+      const std::span<const layout::Index> idx = k.indices(plan);
+      const size_t n = idx.size();
+      for (size_t i = 0; i < n; ++i) {
+        base[static_cast<size_t>(idx[i])] += buf[i];
+      }
+      return;
+    }
+  }
+}
+
+/// A compiled kernel for a schedule's local transfers.  Only kIndexList is
+/// a new path: the local runs flatten to (src, dst) offset arrays executed
+/// as branch-free loops.  Flattening is restricted to runs whose
+/// copyLocalRuns semantics ARE element order — count-1 runs and strided
+/// runs that never take the memmove fast path — so aliased src/dst buffers
+/// (ghost fills) behave bit-identically.  Everything else stays kRunList
+/// (the executor's existing local paths).
+struct LocalKernel {
+  KernelKind kind = KernelKind::kRunList;
+  std::vector<layout::Index> srcIdx, dstIdx;  // kIndexList (wide fallback)
+  std::vector<std::uint32_t> srcIdx32, dstIdx32;  // narrow fast path
+
+  static LocalKernel compile(const Schedule& sched) {
+    LocalKernel k;
+    if (sched.localRuns.empty()) {
+      // Uncompressed local pairs: the executor's element-wise paths are
+      // already branch-free; leave them alone.
+      k.kind = sched.localPairs.empty() ? KernelKind::kEmpty
+                                        : KernelKind::kRunList;
+      return k;
+    }
+    layout::Index total = 0;
+    bool flattenable = true;
+    for (const LocalRun& run : sched.localRuns) {
+      total += run.count;
+      // A memmove-eligible run (both strides 1, count > 1) has
+      // read-all-then-write semantics that element order cannot reproduce
+      // under aliasing; keep the run-wise path for schedules carrying one.
+      if (run.count > 1 && run.srcStride == 1 && run.dstStride == 1) {
+        flattenable = false;
+      }
+    }
+    if (total == 0) {
+      k.kind = KernelKind::kEmpty;
+      return k;
+    }
+    const auto avg =
+        total / static_cast<layout::Index>(sched.localRuns.size());
+    if (!flattenable || avg >= detail::kShortRunAvg) {
+      k.kind = KernelKind::kRunList;
+      ++kernelStats().dispatchRunList;
+      return k;
+    }
+    k.kind = KernelKind::kIndexList;
+    k.srcIdx.reserve(static_cast<size_t>(total));
+    k.dstIdx.reserve(static_cast<size_t>(total));
+    for (const LocalRun& run : sched.localRuns) {
+      for (layout::Index i = 0; i < run.count; ++i) {
+        k.srcIdx.push_back(run.src + i * run.srcStride);
+        k.dstIdx.push_back(run.dst + i * run.dstStride);
+      }
+    }
+    k.srcIdx32 =
+        PlanKernel::narrowIndices(std::span<const layout::Index>(k.srcIdx));
+    k.dstIdx32 =
+        PlanKernel::narrowIndices(std::span<const layout::Index>(k.dstIdx));
+    if (k.srcIdx32.empty() || k.dstIdx32.empty()) {
+      k.srcIdx32.clear();
+      k.dstIdx32.clear();
+    }
+    ++kernelStats().dispatchIndexList;
+    return k;
+  }
+
+  /// Direct local copies in element order (== copyLocalRuns for the runs
+  /// this kernel flattens).
+  template <typename T>
+  void copy(std::span<const T> src, std::span<T> dst) const {
+    ++kernelStats().execIndexList;
+    if (!srcIdx32.empty()) {
+      const std::uint32_t* sIdx = srcIdx32.data();
+      const std::uint32_t* dIdx = dstIdx32.data();
+      const size_t n = srcIdx32.size();
+      constexpr size_t ahead = detail::kPrefetchAhead;
+      for (size_t i = 0; i < n; ++i) {
+        if (i + ahead < n) {
+          __builtin_prefetch(src.data() + sIdx[i + ahead], 0);
+          __builtin_prefetch(dst.data() + dIdx[i + ahead], 1);
+        }
+        dst[dIdx[i]] = src[sIdx[i]];
+      }
+      return;
+    }
+    const layout::Index* sIdx = srcIdx.data();
+    const layout::Index* dIdx = dstIdx.data();
+    const size_t n = srcIdx.size();
+    for (size_t i = 0; i < n; ++i) {
+      dst[static_cast<size_t>(dIdx[i])] = src[static_cast<size_t>(sIdx[i])];
+    }
+  }
+
+  /// Accumulating local copies (dst += src), element order.
+  template <typename T>
+  void add(std::span<const T> src, std::span<T> dst) const {
+    ++kernelStats().execIndexList;
+    if (!srcIdx32.empty()) {
+      const std::uint32_t* sIdx = srcIdx32.data();
+      const std::uint32_t* dIdx = dstIdx32.data();
+      const size_t n = srcIdx32.size();
+      constexpr size_t ahead = detail::kPrefetchAhead;
+      for (size_t i = 0; i < n; ++i) {
+        if (i + ahead < n) {
+          __builtin_prefetch(src.data() + sIdx[i + ahead], 0);
+          __builtin_prefetch(dst.data() + dIdx[i + ahead], 1);
+        }
+        dst[dIdx[i]] += src[sIdx[i]];
+      }
+      return;
+    }
+    const layout::Index* sIdx = srcIdx.data();
+    const layout::Index* dIdx = dstIdx.data();
+    const size_t n = srcIdx.size();
+    for (size_t i = 0; i < n; ++i) {
+      dst[static_cast<size_t>(dIdx[i])] += src[static_cast<size_t>(sIdx[i])];
+    }
+  }
+};
+
+}  // namespace mc::sched

@@ -24,17 +24,27 @@ Conventions enforced here:
     *_seconds metric must be a number/null/stat like any other (no strings);
   * a stat-valued metric carries exactly the six RunningStat fields, with
     "count" a non-negative integer; count == 0 requires null
-    mean/min/max/stddev (an empty stat is explicit, never a fake zero).
+    mean/min/max/stddev (an empty stat is explicit, never a fake zero);
+  * benchmarks listed in REQUIRED_FINITE must carry each named metric in
+    every case, as a finite number (null or a stat does not satisfy it) —
+    e.g. a repartition report without its migration_fraction cannot show
+    the workload stayed in the small-migration regime the speedup claims.
 
 Usage: check_bench_json.py FILE [FILE...]   (exits non-zero on any failure)
 """
 
 import json
+import math
 import re
 import sys
 
 KEY_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
 STAT_FIELDS = {"count", "mean", "min", "max", "stddev", "sum"}
+
+# benchmark name -> metrics each of its cases must report as finite numbers.
+REQUIRED_FINITE = {
+    "repartition": ("migration_fraction", "bytes_migrated"),
+}
 
 
 def is_number(v):
@@ -136,6 +146,12 @@ def check_report(errors, path, doc):
             continue
         for mname, v in metrics.items():
             check_metric(errors, where, mname, v)
+        for req in REQUIRED_FINITE.get(doc.get("benchmark"), ()):
+            v = metrics.get(req)
+            if not is_number(v) or not math.isfinite(v):
+                errors.append(
+                    f"{where}: benchmark '{doc.get('benchmark')}' requires "
+                    f"metric '{req}' as a finite number, got {v!r}")
 
 
 def main(argv):

@@ -37,6 +37,11 @@ void ensureLocalizeMetrics() {
                       [] { return static_cast<double>(g_stats.evictions); });
   reg.registerCounter("localize.deref_cache.entries",
                       [] { return static_cast<double>(g_stats.entries); });
+  reg.registerCounter("localize.deref_cache.retargets",
+                      [] { return static_cast<double>(g_stats.retargets); });
+  reg.registerCounter("localize.deref_cache.retarget_dropped", [] {
+    return static_cast<double>(g_stats.retargetDropped);
+  });
 }
 
 DerefCache::Shard* DerefCache::findShard(std::uint64_t uid) {
@@ -124,6 +129,41 @@ void DerefCache::insertSorted(std::uint64_t uid,
   total_ += globals.size();
   g_stats.insertions += globals.size();
   g_stats.entries = total_;
+}
+
+bool DerefCache::retarget(std::uint64_t oldUid, std::uint64_t newUid,
+                          std::span<const Index> sortedMigrated) {
+  if (oldUid == newUid) return false;
+  // A shard already keyed by the new uid would alias the rekeyed one.
+  // Cannot happen in practice (uids are minted at table build, before any
+  // lookup), but drop it defensively.
+  invalidate(newUid);
+  Shard* shard = findShard(oldUid);
+  if (shard == nullptr) return false;
+  const std::size_t before = shard->keys.size();
+  // In-place two-pointer filter: both the shard keys and the migrated list
+  // ascend.
+  std::size_t w = 0;
+  std::size_t m = 0;
+  for (std::size_t r = 0; r < shard->keys.size(); ++r) {
+    const Index g = shard->keys[r];
+    while (m < sortedMigrated.size() && sortedMigrated[m] < g) ++m;
+    if (m < sortedMigrated.size() && sortedMigrated[m] == g) continue;
+    shard->keys[w] = g;
+    shard->locs[w] = shard->locs[r];
+    ++w;
+  }
+  shard->keys.resize(w);
+  shard->locs.resize(w);
+  shard->uid = newUid;
+  total_ -= before - w;
+  // The old table's shard is gone (rekeyed), which is what invalidations
+  // has always counted; retargets/retargetDropped record the carry-over.
+  ++g_stats.invalidations;
+  ++g_stats.retargets;
+  g_stats.retargetDropped += before - w;
+  g_stats.entries = total_;
+  return true;
 }
 
 bool DerefCache::invalidate(std::uint64_t uid) {

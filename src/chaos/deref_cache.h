@@ -40,6 +40,8 @@ struct DerefCacheStats {
   std::uint64_t invalidations = 0;  // shards dropped by invalidate()
   std::uint64_t evictions = 0;      // entries dropped by the capacity cap
   std::uint64_t entries = 0;        // current resident entries (gauge)
+  std::uint64_t retargets = 0;      // shards carried across a remap
+  std::uint64_t retargetDropped = 0;  // migrated entries dropped by retarget
 };
 
 const DerefCacheStats& derefCacheStats();
@@ -68,6 +70,16 @@ class DerefCache {
   /// Drops every entry cached for the table; returns true if any existed.
   /// chaos::remap calls this for the table it replaces.
   bool invalidate(std::uint64_t uid);
+
+  /// Selective remap invalidation: rekeys the old table's shard to the new
+  /// table's uid, dropping only the entries whose global index is in
+  /// `sortedMigrated` (the elements whose (owner, offset) changed — see
+  /// chaos::migratedGlobals).  Survivors resolve identically under the new
+  /// table by the migrated-set contract, so later inspector passes against
+  /// the new table hit on every reference the remap did not move.  Returns
+  /// true when a shard was carried over.
+  bool retarget(std::uint64_t oldUid, std::uint64_t newUid,
+                std::span<const layout::Index> sortedMigrated);
 
   void clear();
 

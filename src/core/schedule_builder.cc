@@ -18,6 +18,7 @@ namespace {
 
 std::atomic<bool> g_buildElementwise{false};
 thread_local BuildStats g_buildStats;
+thread_local PatchStats g_patchStats;
 // Monotone per-rank build telemetry for the obs registry (g_buildStats
 // itself resets per build, so it cannot serve snapshot/diff accounting).
 thread_local std::uint64_t g_buildCount = 0;
@@ -26,6 +27,8 @@ thread_local std::uint64_t g_kernelContiguous = 0;
 thread_local std::uint64_t g_kernelStrided = 0;
 thread_local std::uint64_t g_kernelRunList = 0;
 thread_local std::uint64_t g_kernelIndexList = 0;
+thread_local std::uint64_t g_patchCount = 0;
+thread_local std::uint64_t g_patchElementsTotal = 0;
 
 /// Registers the builder's counters into the rank's registry (idempotent;
 /// called from every build entry point so the metrics exist as soon as a
@@ -49,6 +52,11 @@ void ensureBuildMetrics() {
   });
   reg.registerCounter("build.kernel_index_list_plans", [] {
     return static_cast<double>(g_kernelIndexList);
+  });
+  reg.registerCounter("build.patch_count",
+                      [] { return static_cast<double>(g_patchCount); });
+  reg.registerCounter("build.patch_elements_total", [] {
+    return static_cast<double>(g_patchElementsTotal);
   });
 }
 
@@ -107,24 +115,16 @@ void noteBuildDone() {
 
 /// A source processor's marching order: `count` elements packed from
 /// srcOff + k*srcStride going to dstOwner at dstOff + k*dstStride (the
-/// destination offsets matter only for processor-local transfers).
-struct SendRun {
-  Index srcOff;
-  Index dstOff;
-  Index count;
-  Index srcStride;
-  Index dstStride;
-  Index dstOwner;
-};
+/// destination offsets matter only for processor-local transfers).  Carries
+/// the first linearization position so the same records double as the
+/// schedule's provenance stream (SendSeg) — lanes merge only across
+/// lin-contiguous records, which makes the greedy cut-invariant over any
+/// sub-stream and the recorded segment cut canonical.
+using SendRun = SendSeg;
 
 /// A destination processor's marching order: `count` elements from srcOwner
 /// unpacked into dstOff + k*dstStride.
-struct RecvRun {
-  Index dstOff;
-  Index count;
-  Index dstStride;
-  Index srcOwner;
-};
+using RecvRun = RecvSeg;
 
 const LibraryAdapter& adapterFor(const DistObject& obj) {
   registerBuiltinAdapters();
@@ -167,11 +167,12 @@ void appendSendRun(std::vector<SendRun>& lane, SendRun run) {
   while (run.count > 0) {
     if (!lane.empty()) {
       SendRun& tail = lane.back();
-      if (tail.dstOwner == run.dstOwner) {
+      if (tail.dstOwner == run.dstOwner && run.lin == tail.lin + tail.count) {
         if (tail.count == 1) {
           tail.srcStride = run.srcOff - tail.srcOff;
           tail.dstStride = run.dstOff - tail.dstOff;
           ++tail.count;
+          ++run.lin;
           run.srcOff += run.srcStride;
           run.dstOff += run.dstStride;
           --run.count;
@@ -185,6 +186,7 @@ void appendSendRun(std::vector<SendRun>& lane, SendRun run) {
             return;
           }
           ++tail.count;
+          ++run.lin;
           run.srcOff += run.srcStride;
           run.dstOff += run.dstStride;
           --run.count;
@@ -206,10 +208,11 @@ void appendRecvRun(std::vector<RecvRun>& lane, RecvRun run) {
   while (run.count > 0) {
     if (!lane.empty()) {
       RecvRun& tail = lane.back();
-      if (tail.srcOwner == run.srcOwner) {
+      if (tail.srcOwner == run.srcOwner && run.lin == tail.lin + tail.count) {
         if (tail.count == 1) {
           tail.dstStride = run.dstOff - tail.dstOff;
           ++tail.count;
+          ++run.lin;
           run.dstOff += run.dstStride;
           --run.count;
           continue;
@@ -220,6 +223,7 @@ void appendRecvRun(std::vector<RecvRun>& lane, RecvRun run) {
             return;
           }
           ++tail.count;
+          ++run.lin;
           run.dstOff += run.dstStride;
           --run.count;
           continue;
@@ -447,11 +451,11 @@ struct ChunkInfo {
 };
 
 /// Extends or starts a SendRun in `lane` (element-wise reference emitter).
-void emitSend(std::vector<SendRun>& lane, Index srcOff, Index dstOff,
-              Index dstOwner) {
+void emitSend(std::vector<SendRun>& lane, Index lin, Index srcOff,
+              Index dstOff, Index dstOwner) {
   if (!lane.empty()) {
     SendRun& run = lane.back();
-    if (run.dstOwner == dstOwner) {
+    if (run.dstOwner == dstOwner && lin == run.lin + run.count) {
       if (run.count == 1) {
         run.srcStride = srcOff - run.srcOff;
         run.dstStride = dstOff - run.dstOff;
@@ -465,14 +469,15 @@ void emitSend(std::vector<SendRun>& lane, Index srcOff, Index dstOff,
       }
     }
   }
-  lane.push_back(SendRun{srcOff, dstOff, 1, 0, 0, dstOwner});
+  lane.push_back(SendRun{lin, srcOff, dstOff, 1, 0, 0, dstOwner});
 }
 
 /// Extends or starts a RecvRun in `lane` (element-wise reference emitter).
-void emitRecv(std::vector<RecvRun>& lane, Index dstOff, Index srcOwner) {
+void emitRecv(std::vector<RecvRun>& lane, Index lin, Index dstOff,
+              Index srcOwner) {
   if (!lane.empty()) {
     RecvRun& run = lane.back();
-    if (run.srcOwner == srcOwner) {
+    if (run.srcOwner == srcOwner && lin == run.lin + run.count) {
       if (run.count == 1) {
         run.dstStride = dstOff - run.dstOff;
         ++run.count;
@@ -484,7 +489,7 @@ void emitRecv(std::vector<RecvRun>& lane, Index dstOff, Index srcOwner) {
       }
     }
   }
-  lane.push_back(RecvRun{dstOff, 1, 0, srcOwner});
+  lane.push_back(RecvRun{lin, dstOff, 1, 0, srcOwner});
 }
 
 // ---------------------------------------------------------------------------
@@ -498,10 +503,15 @@ void emitRecv(std::vector<RecvRun>& lane, Index dstOff, Index srcOwner) {
 // ---------------------------------------------------------------------------
 
 void assembleSendsRuns(const std::vector<std::vector<SendRun>>& rows, int me,
-                       bool allowLocal, sched::Schedule& plan) {
+                       bool allowLocal, sched::Schedule& plan,
+                       std::vector<SendSeg>* segs = nullptr) {
   std::vector<std::vector<OffsetRun>> byPeer;
   for (const auto& row : rows) {
     for (const SendRun& run : row) {
+      // Rows arrive chunk-ordered and chunk-internally sorted, so the
+      // stream is globally lin-sorted; re-appending re-coalesces across
+      // chunk seams into the canonical provenance cut.
+      if (segs) appendSendRun(*segs, run);
       if (allowLocal && run.dstOwner == me) {
         sched::appendLocalRun(plan.localRuns,
                               LocalRun{run.srcOff, run.dstOff, run.count,
@@ -523,10 +533,12 @@ void assembleSendsRuns(const std::vector<std::vector<SendRun>>& rows, int me,
 }
 
 void assembleRecvsRuns(const std::vector<std::vector<RecvRun>>& rows,
-                       sched::Schedule& plan) {
+                       sched::Schedule& plan,
+                       std::vector<RecvSeg>* segs = nullptr) {
   std::vector<std::vector<OffsetRun>> byPeer;
   for (const auto& row : rows) {
     for (const RecvRun& run : row) {
+      if (segs) appendRecvRun(*segs, run);
       if (byPeer.size() <= static_cast<size_t>(run.srcOwner)) {
         byPeer.resize(static_cast<size_t>(run.srcOwner) + 1);
       }
@@ -542,10 +554,12 @@ void assembleRecvsRuns(const std::vector<std::vector<RecvRun>>& rows,
 }
 
 void assembleSendsElementwise(const std::vector<std::vector<SendRun>>& rows,
-                              int me, bool allowLocal, sched::Schedule& plan) {
+                              int me, bool allowLocal, sched::Schedule& plan,
+                              std::vector<SendSeg>* segs = nullptr) {
   std::vector<std::vector<Index>> byPeer;
   for (const auto& row : rows) {
     for (const SendRun& run : row) {
+      if (segs) appendSendRun(*segs, run);
       if (allowLocal && run.dstOwner == me) {
         for (Index k = 0; k < run.count; ++k) {
           plan.localPairs.emplace_back(run.srcOff + k * run.srcStride,
@@ -570,10 +584,12 @@ void assembleSendsElementwise(const std::vector<std::vector<SendRun>>& rows,
 }
 
 void assembleRecvsElementwise(const std::vector<std::vector<RecvRun>>& rows,
-                              sched::Schedule& plan) {
+                              sched::Schedule& plan,
+                              std::vector<RecvSeg>* segs = nullptr) {
   std::vector<std::vector<Index>> byPeer;
   for (const auto& row : rows) {
     for (const RecvRun& run : row) {
+      if (segs) appendRecvRun(*segs, run);
       if (byPeer.size() <= static_cast<size_t>(run.srcOwner)) {
         byPeer.resize(static_cast<size_t>(run.srcOwner) + 1);
       }
@@ -694,29 +710,31 @@ McSchedule buildIntraCooperation(transport::Comm& comm,
       if (count == 1) {
         // Degenerate segment (fully irregular data): the single-element
         // greedy appends produce the same lanes for less bookkeeping.
-        emitSend(sendTo[static_cast<size_t>(s.owner)], srcOff, dstOff,
+        emitSend(sendTo[static_cast<size_t>(s.owner)], pos, srcOff, dstOff,
                  d.owner);
         if (d.owner != s.owner) {
-          emitRecv(recvTo[static_cast<size_t>(d.owner)], dstOff, s.owner);
+          emitRecv(recvTo[static_cast<size_t>(d.owner)], pos, dstOff, s.owner);
         }
         return;
       }
       appendSendRun(sendTo[static_cast<size_t>(s.owner)],
-                    SendRun{srcOff, dstOff, count, s.offStride, d.offStride,
-                            static_cast<Index>(d.owner)});
+                    SendRun{pos, srcOff, dstOff, count, s.offStride,
+                            d.offStride, static_cast<Index>(d.owner)});
       if (d.owner != s.owner) {
-        appendRecvRun(
-            recvTo[static_cast<size_t>(d.owner)],
-            RecvRun{dstOff, count, d.offStride, static_cast<Index>(s.owner)});
+        appendRecvRun(recvTo[static_cast<size_t>(d.owner)],
+                      RecvRun{pos, dstOff, count, d.offStride,
+                              static_cast<Index>(s.owner)});
       }
     });
   });
   auto mySends = comm.alltoall(sendTo);
   auto myRecvs = comm.alltoall(recvTo);
   comm.compute([&] {
-    assembleSendsRuns(mySends, me, /*allowLocal=*/true, out.plan);
-    assembleRecvsRuns(myRecvs, out.plan);
+    assembleSendsRuns(mySends, me, /*allowLocal=*/true, out.plan,
+                      &out.sendSegs);
+    assembleRecvsRuns(myRecvs, out.plan, &out.recvSegs);
   });
+  out.hasProvenance = true;
   return out;
 }
 
@@ -744,19 +762,22 @@ McSchedule buildIntraCooperationElementwise(
       const auto kk = static_cast<size_t>(k);
       const int sOwner = src.owner[kk];
       const int dOwner = dst.owner[kk];
-      emitSend(sendTo[static_cast<size_t>(sOwner)], src.offset[kk],
+      emitSend(sendTo[static_cast<size_t>(sOwner)], src.lo + k, src.offset[kk],
                dst.offset[kk], dOwner);
       if (dOwner != sOwner) {
-        emitRecv(recvTo[static_cast<size_t>(dOwner)], dst.offset[kk], sOwner);
+        emitRecv(recvTo[static_cast<size_t>(dOwner)], src.lo + k,
+                 dst.offset[kk], sOwner);
       }
     }
   });
   auto mySends = comm.alltoall(sendTo);
   auto myRecvs = comm.alltoall(recvTo);
   comm.compute([&] {
-    assembleSendsElementwise(mySends, me, /*allowLocal=*/true, out.plan);
-    assembleRecvsElementwise(myRecvs, out.plan);
+    assembleSendsElementwise(mySends, me, /*allowLocal=*/true, out.plan,
+                             &out.sendSegs);
+    assembleRecvsElementwise(myRecvs, out.plan, &out.recvSegs);
   });
+  out.hasProvenance = true;
   return out;
 }
 
@@ -804,6 +825,16 @@ McSchedule buildIntraDuplication(transport::Comm& comm,
     std::vector<std::vector<OffsetRun>> recvBy;
     joinTables(src, dst, [&](const OwnedRun& s, const OwnedRun& d, Index pos,
                              Index count) {
+      if (s.owner == me) {
+        appendSendRun(out.sendSegs,
+                      SendSeg{pos, offAt(s, pos), offAt(d, pos), count,
+                              s.offStride, d.offStride,
+                              static_cast<Index>(d.owner)});
+      } else if (d.owner == me) {
+        appendRecvRun(out.recvSegs,
+                      RecvSeg{pos, offAt(d, pos), count, d.offStride,
+                              static_cast<Index>(s.owner)});
+      }
       if (s.owner == me && d.owner == me) {
         sched::appendLocalRun(out.plan.localRuns,
                               LocalRun{offAt(s, pos), offAt(d, pos), count,
@@ -835,6 +866,7 @@ McSchedule buildIntraDuplication(transport::Comm& comm,
       }
     }
   });
+  out.hasProvenance = true;
   return out;
 }
 
@@ -876,6 +908,12 @@ McSchedule buildIntraDuplicationElementwise(
       const auto ll = static_cast<size_t>(lin);
       const int s = srcOwner[ll];
       const int d = dstOwner[ll];
+      if (s == me) {
+        emitSend(out.sendSegs, lin, srcOff[ll], dstOff[ll],
+                 static_cast<Index>(d));
+      } else if (d == me) {
+        emitRecv(out.recvSegs, lin, dstOff[ll], static_cast<Index>(s));
+      }
       if (s == me && d == me) {
         out.plan.localPairs.emplace_back(srcOff[ll], dstOff[ll]);
       } else if (s == me) {
@@ -903,6 +941,7 @@ McSchedule buildIntraDuplicationElementwise(
       }
     }
   });
+  out.hasProvenance = true;
   return out;
 }
 
@@ -1077,11 +1116,11 @@ McSchedule buildInterCooperationRecv(transport::Comm& comm,
       const Index srcOff = offAt(s, pos);
       const Index dstOff = offAt(d, pos);
       appendSendRun(sendTo[static_cast<size_t>(s.owner)],
-                    SendRun{srcOff, dstOff, count, s.offStride, d.offStride,
-                            static_cast<Index>(d.owner)});
-      appendRecvRun(
-          recvTo[static_cast<size_t>(d.owner)],
-          RecvRun{dstOff, count, d.offStride, static_cast<Index>(s.owner)});
+                    SendRun{pos, srcOff, dstOff, count, s.offStride,
+                            d.offStride, static_cast<Index>(d.owner)});
+      appendRecvRun(recvTo[static_cast<size_t>(d.owner)],
+                    RecvRun{pos, dstOff, count, d.offStride,
+                            static_cast<Index>(s.owner)});
     });
   });
   (void)interAlltoall(comm, remoteProgram, sendTo);
@@ -1126,10 +1165,10 @@ McSchedule buildInterCooperationRecvElementwise(transport::Comm& comm,
   comm.compute([&] {
     for (Index k = 0; k < size; ++k) {
       const auto kk = static_cast<size_t>(k);
-      emitSend(sendTo[static_cast<size_t>(src.owner[kk])], src.offset[kk],
-               dst.offset[kk], dst.owner[kk]);
-      emitRecv(recvTo[static_cast<size_t>(dst.owner[kk])], dst.offset[kk],
-               src.owner[kk]);
+      emitSend(sendTo[static_cast<size_t>(src.owner[kk])], lo + k,
+               src.offset[kk], dst.offset[kk], dst.owner[kk]);
+      emitRecv(recvTo[static_cast<size_t>(dst.owner[kk])], lo + k,
+               dst.offset[kk], src.owner[kk]);
     }
   });
   (void)interAlltoall(comm, remoteProgram, sendTo);
@@ -1252,6 +1291,162 @@ McSchedule buildInterDuplication(transport::Comm& comm,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Schedule patching (incremental delta rebuild).
+//
+// The provenance streams are the canonical greedy cut of each rank's
+// per-lin segment sequence.  Because every append helper merges only
+// lin-contiguous records, re-appending any re-cut of the same sequence
+// reproduces the stream bit-identically — so subtracting the delta's
+// intervals from the old streams, deriving fresh segments for only the
+// migrated intervals, and merging by lin yields exactly what a full
+// rebuild of the new distributions would have produced: identical
+// provenance AND identical plans.
+// ---------------------------------------------------------------------------
+
+SendSeg sliceSendSeg(const SendSeg& g, Index lo, Index hi) {
+  SendSeg s = g;
+  s.lin = lo;
+  s.count = hi - lo;
+  s.srcOff = g.srcOff + (lo - g.lin) * g.srcStride;
+  s.dstOff = g.dstOff + (lo - g.lin) * g.dstStride;
+  return s;
+}
+
+RecvSeg sliceRecvSeg(const RecvSeg& g, Index lo, Index hi) {
+  RecvSeg s = g;
+  s.lin = lo;
+  s.count = hi - lo;
+  s.dstOff = g.dstOff + (lo - g.lin) * g.dstStride;
+  return s;
+}
+
+/// Emits the sub-segments of `segs` falling outside the delta's migrated
+/// intervals (both inputs sorted by lin and disjoint).  Two-pointer
+/// subtraction, O(|segs| + |intervals|).
+template <typename Seg, typename Slice, typename Emit>
+void subtractDelta(const std::vector<Seg>& segs,
+                   const std::vector<layout::LinInterval>& iv, Slice slice,
+                   Emit emit) {
+  size_t j = 0;
+  for (const Seg& g : segs) {
+    Index pos = g.lin;
+    const Index end = g.lin + g.count;
+    while (pos < end) {
+      while (j < iv.size() && iv[j].hi <= pos) ++j;
+      if (j == iv.size() || iv[j].lo >= end) {
+        emit(slice(g, pos, end));
+        break;
+      }
+      if (iv[j].lo > pos) emit(slice(g, pos, iv[j].lo));
+      pos = std::min(iv[j].hi, end);
+    }
+  }
+}
+
+/// Merges two lin-sorted disjoint seg streams through the canonical greedy
+/// appender.
+template <typename Seg, typename Append>
+void mergeSegStreams(const std::vector<Seg>& a, const std::vector<Seg>& b,
+                     std::vector<Seg>& out, Append append) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].lin < b[j].lin)) {
+      append(out, a[i++]);
+    } else {
+      append(out, b[j++]);
+    }
+  }
+}
+
+/// Derives this rank's fresh send/recv segments for every delta interval by
+/// local enumeration of both new descriptors over just that interval.
+/// Returns the ownership-table bytes materialized.
+std::size_t buildFreshSegs(int me, const LibraryAdapter& srcLib,
+                           const DistObject& srcObj, const SetOfRegions& srcSet,
+                           const LibraryAdapter& dstLib,
+                           const DistObject& dstObj, const SetOfRegions& dstSet,
+                           const layout::DistDelta& delta, Index n,
+                           std::vector<SendSeg>& sendOut,
+                           std::vector<RecvSeg>& recvOut) {
+  std::size_t tableBytes = 0;
+  for (const layout::LinInterval& ivRaw : delta.intervals()) {
+    const Index lo = std::max<Index>(0, ivRaw.lo);
+    const Index hi = std::min(n, ivRaw.hi);
+    if (hi <= lo) continue;
+    ChunkTable src(lo, hi - lo);
+    ChunkTable dst(lo, hi - lo);
+    srcLib.enumerateRangeRuns(
+        srcObj, srcSet, lo, hi,
+        [&](Index lin, int owner, Index off, Index count, Index offStride) {
+          src.append(lin, owner, off, count, offStride, "source");
+        });
+    dstLib.enumerateRangeRuns(
+        dstObj, dstSet, lo, hi,
+        [&](Index lin, int owner, Index off, Index count, Index offStride) {
+          dst.append(lin, owner, off, count, offStride, "destination");
+        });
+    src.checkComplete("source");
+    dst.checkComplete("destination");
+    tableBytes += src.tableBytes() + dst.tableBytes();
+    joinTables(src, dst, [&](const OwnedRun& s, const OwnedRun& d, Index pos,
+                             Index count) {
+      if (s.owner == me) {
+        appendSendRun(sendOut,
+                      SendSeg{pos, offAt(s, pos), offAt(d, pos), count,
+                              s.offStride, d.offStride,
+                              static_cast<Index>(d.owner)});
+      } else if (d.owner == me) {
+        appendRecvRun(recvOut,
+                      RecvSeg{pos, offAt(d, pos), count, d.offStride,
+                              static_cast<Index>(s.owner)});
+      }
+    });
+  }
+  return tableBytes;
+}
+
+/// Assembles runs-first plans from a schedule's provenance streams — the
+/// same per-peer greedy the builders use, so the plans come out identical
+/// to a fresh build's.
+void assembleFromSegs(const std::vector<SendSeg>& sendSegs,
+                      const std::vector<RecvSeg>& recvSegs, int me,
+                      sched::Schedule& plan) {
+  std::vector<std::vector<OffsetRun>> sendBy;
+  std::vector<std::vector<OffsetRun>> recvBy;
+  for (const SendSeg& g : sendSegs) {
+    if (g.dstOwner == static_cast<Index>(me)) {
+      sched::appendLocalRun(plan.localRuns,
+                            LocalRun{g.srcOff, g.dstOff, g.count, g.srcStride,
+                                     g.dstStride});
+      continue;
+    }
+    if (sendBy.size() <= static_cast<size_t>(g.dstOwner)) {
+      sendBy.resize(static_cast<size_t>(g.dstOwner) + 1);
+    }
+    sched::appendOffsetRun(sendBy[static_cast<size_t>(g.dstOwner)],
+                           OffsetRun{g.srcOff, g.count, g.srcStride});
+  }
+  for (const RecvSeg& g : recvSegs) {
+    if (recvBy.size() <= static_cast<size_t>(g.srcOwner)) {
+      recvBy.resize(static_cast<size_t>(g.srcOwner) + 1);
+    }
+    sched::appendOffsetRun(recvBy[static_cast<size_t>(g.srcOwner)],
+                           OffsetRun{g.dstOff, g.count, g.dstStride});
+  }
+  for (size_t p = 0; p < sendBy.size(); ++p) {
+    if (sendBy[p].empty()) continue;
+    plan.sends.push_back(
+        sched::OffsetPlan{static_cast<int>(p), {}, std::move(sendBy[p])});
+  }
+  for (size_t p = 0; p < recvBy.size(); ++p) {
+    if (recvBy[p].empty()) continue;
+    plan.recvs.push_back(
+        sched::OffsetPlan{static_cast<int>(p), {}, std::move(recvBy[p])});
+  }
+}
+
 }  // namespace
 
 McSchedule computeSchedule(transport::Comm& comm, const DistObject& srcObj,
@@ -1343,7 +1538,257 @@ McSchedule reverseSchedule(const McSchedule& sched) {
   return out;
 }
 
+bool patchableSchedule(const McSchedule& old, const DistObject& newSrcObj,
+                       const DistObject& newDstObj) {
+  if (old.remoteProgram >= 0 || !old.hasProvenance) return false;
+  const LibraryAdapter& srcLib = adapterFor(newSrcObj);
+  const LibraryAdapter& dstLib = adapterFor(newDstObj);
+  return srcLib.supportsLocalEnumeration(newSrcObj) &&
+         dstLib.supportsLocalEnumeration(newDstObj);
+}
+
+McSchedule patchSchedule(transport::Comm& comm, const McSchedule& old,
+                         const layout::DistDelta& delta,
+                         const DistObject& newSrcObj,
+                         const SetOfRegions& srcSet,
+                         const DistObject& newDstObj,
+                         const SetOfRegions& dstSet) {
+  ensureBuildMetrics();
+  obs::ScopedSpan span(obs::phase::kBuild);
+  g_buildStats = BuildStats{};
+  g_patchStats = PatchStats{};
+  MC_REQUIRE(old.remoteProgram < 0,
+             "patchSchedule handles intra-program schedules only");
+  MC_REQUIRE(old.hasProvenance,
+             "patchSchedule needs build provenance (intra-program "
+             "computeSchedule records it; reversed schedules do not)");
+  const LibraryAdapter& srcLib = adapterFor(newSrcObj);
+  const LibraryAdapter& dstLib = adapterFor(newDstObj);
+  srcLib.validate(newSrcObj, srcSet);
+  dstLib.validate(newDstObj, dstSet);
+  MC_REQUIRE(srcLib.supportsLocalEnumeration(newSrcObj) &&
+                 dstLib.supportsLocalEnumeration(newDstObj),
+             "patching is communication-free and needs locally enumerable "
+             "descriptors on both sides");
+  const Index n = srcSet.numElements();
+  MC_REQUIRE(n == dstSet.numElements() && n == old.numElements,
+             "patchSchedule set sizes disagree with the cached schedule "
+             "(%lld / %lld vs %lld)",
+             static_cast<long long>(n),
+             static_cast<long long>(dstSet.numElements()),
+             static_cast<long long>(old.numElements));
+
+  const int me = comm.rank();
+  McSchedule out;
+  out.numElements = n;
+  out.plan.bufferLocalCopies = false;
+  // Re-deriving ownership for the migrated positions costs what the
+  // duplication build would charge for that many elements — the modeled
+  // cost scales with the migration, not the set.
+  const Index migrated = std::min(n, delta.migratedElements());
+  comm.advance(2.0 *
+               (srcLib.modeledElementDereferenceCost(newSrcObj) +
+                dstLib.modeledElementDereferenceCost(newDstObj)) *
+               static_cast<double>(migrated) / comm.size());
+  comm.compute([&] {
+    std::vector<SendSeg> freshSend;
+    std::vector<RecvSeg> freshRecv;
+    g_buildStats.ownershipTableBytes +=
+        buildFreshSegs(me, srcLib, newSrcObj, srcSet, dstLib, newDstObj,
+                       dstSet, delta, n, freshSend, freshRecv);
+    std::vector<SendSeg> keptSend;
+    std::vector<RecvSeg> keptRecv;
+    subtractDelta(old.sendSegs, delta.intervals(), sliceSendSeg,
+                  [&](const SendSeg& s) { keptSend.push_back(s); });
+    subtractDelta(old.recvSegs, delta.intervals(), sliceRecvSeg,
+                  [&](const RecvSeg& s) { keptRecv.push_back(s); });
+    g_patchStats.segmentsReused = keptSend.size() + keptRecv.size();
+    g_patchStats.segmentsRebuilt = freshSend.size() + freshRecv.size();
+    g_patchStats.elementsPatched = migrated;
+    out.sendSegs.reserve(keptSend.size() + freshSend.size());
+    out.recvSegs.reserve(keptRecv.size() + freshRecv.size());
+    mergeSegStreams(keptSend, freshSend, out.sendSegs,
+                    [](std::vector<SendSeg>& lane, const SendSeg& g) {
+                      appendSendRun(lane, g);
+                    });
+    mergeSegStreams(keptRecv, freshRecv, out.recvSegs,
+                    [](std::vector<RecvSeg>& lane, const RecvSeg& g) {
+                      appendRecvRun(lane, g);
+                    });
+    assembleFromSegs(out.sendSegs, out.recvSegs, me, out.plan);
+  });
+  out.hasProvenance = true;
+  recordKernelDispatch(out.plan);
+  noteBuildDone();
+  ++g_patchCount;
+  g_patchElementsTotal += static_cast<std::uint64_t>(migrated);
+  return out;
+}
+
+layout::DistDelta computeDelta(const DistObject& oldObj,
+                               const DistObject& newObj,
+                               const SetOfRegions& set) {
+  const LibraryAdapter& oldLib = adapterFor(oldObj);
+  const LibraryAdapter& newLib = adapterFor(newObj);
+  MC_REQUIRE(oldLib.supportsLocalEnumeration(oldObj) &&
+                 newLib.supportsLocalEnumeration(newObj),
+             "computeDelta needs locally enumerable descriptors");
+  const Index n = set.numElements();
+  layout::DistDelta delta;
+  if (n == 0) return delta;
+  ChunkTable a(0, n);
+  ChunkTable b(0, n);
+  oldLib.enumerateRangeRuns(
+      oldObj, set, 0, n,
+      [&](Index lin, int owner, Index off, Index count, Index offStride) {
+        a.append(lin, owner, off, count, offStride, "old");
+      });
+  newLib.enumerateRangeRuns(
+      newObj, set, 0, n,
+      [&](Index lin, int owner, Index off, Index count, Index offStride) {
+        b.append(lin, owner, off, count, offStride, "new");
+      });
+  a.checkComplete("old");
+  b.checkComplete("new");
+  joinTables(a, b, [&](const OwnedRun& s, const OwnedRun& d, Index pos,
+                       Index count) {
+    // A segment is unchanged iff owner and offset progression agree; when
+    // only the strides differ some positions may still coincide — marking
+    // the whole segment migrated is a safe over-approximation.
+    if (s.owner == d.owner && offAt(s, pos) == offAt(d, pos) &&
+        (count == 1 || s.offStride == d.offStride)) {
+      return;
+    }
+    delta.add(pos, pos + count);
+  });
+  return delta;
+}
+
+layout::DistDelta deltaFromMigratedIndices(
+    const SetOfRegions& set, std::span<const layout::Index> sortedMigrated) {
+  layout::DistDelta delta;
+  if (sortedMigrated.empty()) return delta;
+  const auto migrated = [&](Index g) {
+    return std::binary_search(sortedMigrated.begin(), sortedMigrated.end(), g);
+  };
+  Index lin = 0;
+  for (const Region& r : set.regions()) {
+    switch (r.kind()) {
+      case Region::Kind::kIndices: {
+        const std::vector<Index>& ids = r.asIndices();
+        for (size_t k = 0; k < ids.size(); ++k) {
+          if (migrated(ids[k])) {
+            delta.add(lin + static_cast<Index>(k),
+                      lin + static_cast<Index>(k) + 1);
+          }
+        }
+        break;
+      }
+      case Region::Kind::kRange: {
+        const ElementRange& er = r.asRange();
+        const Index cnt = er.numElements();
+        for (Index k = 0; k < cnt; ++k) {
+          if (migrated(er.at(k))) delta.add(lin + k, lin + k + 1);
+        }
+        break;
+      }
+      case Region::Kind::kSection:
+        MC_REQUIRE(false,
+                   "deltaFromMigratedIndices supports index-list and range "
+                   "regions (their elements are global indices); use "
+                   "computeDelta for section sets");
+    }
+    lin += r.numElements();
+  }
+  return delta;
+}
+
+sched::Schedule buildRedistMove(transport::Comm& comm,
+                                const DistObject& oldObj,
+                                const DistObject& newObj,
+                                const SetOfRegions& set,
+                                const layout::DistDelta& delta) {
+  ensureBuildMetrics();
+  obs::ScopedSpan span(obs::phase::kBuild);
+  g_buildStats = BuildStats{};
+  const LibraryAdapter& oldLib = adapterFor(oldObj);
+  const LibraryAdapter& newLib = adapterFor(newObj);
+  MC_REQUIRE(oldLib.supportsLocalEnumeration(oldObj) &&
+                 newLib.supportsLocalEnumeration(newObj),
+             "buildRedistMove needs locally enumerable descriptors");
+  const Index n = set.numElements();
+  const int me = comm.rank();
+  sched::Schedule plan;
+  plan.bufferLocalCopies = false;
+  const Index migrated = std::min(n, delta.migratedElements());
+  comm.advance(2.0 *
+               (oldLib.modeledElementDereferenceCost(oldObj) +
+                newLib.modeledElementDereferenceCost(newObj)) *
+               static_cast<double>(migrated) / comm.size());
+  comm.compute([&] {
+    std::vector<std::vector<OffsetRun>> sendBy;
+    std::vector<std::vector<OffsetRun>> recvBy;
+    for (const layout::LinInterval& ivRaw : delta.intervals()) {
+      const Index lo = std::max<Index>(0, ivRaw.lo);
+      const Index hi = std::min(n, ivRaw.hi);
+      if (hi <= lo) continue;
+      ChunkTable src(lo, hi - lo);
+      ChunkTable dst(lo, hi - lo);
+      oldLib.enumerateRangeRuns(
+          oldObj, set, lo, hi,
+          [&](Index lin, int owner, Index off, Index count, Index offStride) {
+            src.append(lin, owner, off, count, offStride, "old");
+          });
+      newLib.enumerateRangeRuns(
+          newObj, set, lo, hi,
+          [&](Index lin, int owner, Index off, Index count, Index offStride) {
+            dst.append(lin, owner, off, count, offStride, "new");
+          });
+      src.checkComplete("old");
+      dst.checkComplete("new");
+      g_buildStats.ownershipTableBytes += src.tableBytes() + dst.tableBytes();
+      joinTables(src, dst, [&](const OwnedRun& s, const OwnedRun& d,
+                               Index pos, Index count) {
+        if (s.owner == me && d.owner == me) {
+          sched::appendLocalRun(plan.localRuns,
+                                LocalRun{offAt(s, pos), offAt(d, pos), count,
+                                         s.offStride, d.offStride});
+        } else if (s.owner == me) {
+          if (sendBy.size() <= static_cast<size_t>(d.owner)) {
+            sendBy.resize(static_cast<size_t>(d.owner) + 1);
+          }
+          sched::appendOffsetRun(sendBy[static_cast<size_t>(d.owner)],
+                                 OffsetRun{offAt(s, pos), count, s.offStride});
+        } else if (d.owner == me) {
+          if (recvBy.size() <= static_cast<size_t>(s.owner)) {
+            recvBy.resize(static_cast<size_t>(s.owner) + 1);
+          }
+          sched::appendOffsetRun(recvBy[static_cast<size_t>(s.owner)],
+                                 OffsetRun{offAt(d, pos), count, d.offStride});
+        }
+      });
+    }
+    for (size_t p = 0; p < sendBy.size(); ++p) {
+      if (!sendBy[p].empty()) {
+        plan.sends.push_back(
+            sched::OffsetPlan{static_cast<int>(p), {}, std::move(sendBy[p])});
+      }
+    }
+    for (size_t p = 0; p < recvBy.size(); ++p) {
+      if (!recvBy[p].empty()) {
+        plan.recvs.push_back(
+            sched::OffsetPlan{static_cast<int>(p), {}, std::move(recvBy[p])});
+      }
+    }
+  });
+  recordKernelDispatch(plan);
+  noteBuildDone();
+  return plan;
+}
+
 const BuildStats& lastBuildStats() { return g_buildStats; }
+
+const PatchStats& lastPatchStats() { return g_patchStats; }
 
 namespace testing {
 bool buildElementwiseForTest(bool enable) {

@@ -30,11 +30,39 @@
 
 #include "core/adapter.h"
 #include "core/registry.h"
+#include "layout/dist_delta.h"
 #include "sched/schedule.h"
 
 namespace mc::core {
 
 enum class Method { kCooperation, kDuplication };
+
+/// Build provenance: one maximal greedy-coalesced segment of linearization
+/// positions this rank *sources* (srcOwner == me).  Covers both remote
+/// sends (dstOwner != me) and local copies (dstOwner == me).  Sorted by
+/// lin, disjoint; the canonical greedy cut, so two builds of the same
+/// distributions produce bit-identical segment streams.
+struct SendSeg {
+  layout::Index lin = 0;  ///< first linearization position of the segment
+  layout::Index srcOff = 0;
+  layout::Index dstOff = 0;
+  layout::Index count = 0;
+  layout::Index srcStride = 0;
+  layout::Index dstStride = 0;
+  layout::Index dstOwner = 0;
+  bool operator==(const SendSeg&) const = default;
+};
+
+/// Build provenance: one segment this rank *receives* (dstOwner == me,
+/// srcOwner != me).
+struct RecvSeg {
+  layout::Index lin = 0;
+  layout::Index dstOff = 0;
+  layout::Index count = 0;
+  layout::Index dstStride = 0;
+  layout::Index srcOwner = 0;
+  bool operator==(const RecvSeg&) const = default;
+};
 
 /// A Meta-Chaos communication schedule.  Sends' offsets index the local
 /// source buffer; recvs' offsets index the local destination buffer; local
@@ -47,6 +75,12 @@ struct McSchedule {
   /// plans target its ranks).
   int remoteProgram = -1;
   bool isSender = false;  ///< inter-program only: which side this half is
+  /// Per-lin provenance recorded by the intra-program builders (empty for
+  /// inter-program halves).  patchSchedule subtracts a DistDelta against
+  /// these streams to rebuild only migrated intervals.
+  bool hasProvenance = false;
+  std::vector<SendSeg> sendSegs;
+  std::vector<RecvSeg> recvSegs;
 };
 
 /// Intra-program build: both data structures live in the calling program.
@@ -71,7 +105,59 @@ McSchedule computeScheduleRecv(transport::Comm& comm, const DistObject& dstObj,
 
 /// Reverses a schedule: the same schedule then copies data the other way
 /// (paper Section 4.3: "the communication schedule is also symmetric").
+/// Provenance is not carried through a reversal (reversed schedules are
+/// not patchable).
 McSchedule reverseSchedule(const McSchedule& sched);
+
+/// True when `old` can be patched against new descriptors: it was built
+/// intra-program with provenance recorded, and both new descriptors can be
+/// enumerated locally (patching is communication-free).
+bool patchableSchedule(const McSchedule& old, const DistObject& newSrcObj,
+                       const DistObject& newDstObj);
+
+/// Patches a cached schedule across a repartitioning instead of a full
+/// inspector rebuild.  `delta` marks every linearization position whose
+/// (owner, offset) mapping changed on either side (over-approximation is
+/// safe); `newSrcObj`/`newDstObj` describe the *new* distributions.  Only
+/// segments intersecting the delta are re-derived (one local ownership
+/// enumeration per migrated interval); everything else is reused from the
+/// old schedule's provenance via two-pointer interval subtraction.  The
+/// result — plans and provenance — is bit-identical to a fresh
+/// computeSchedule of the new distributions, so patched schedules are
+/// themselves patchable.  Collective only in modeled cost (no messages);
+/// every rank must call it with the same delta.
+McSchedule patchSchedule(transport::Comm& comm, const McSchedule& old,
+                         const layout::DistDelta& delta,
+                         const DistObject& newSrcObj,
+                         const SetOfRegions& srcSet,
+                         const DistObject& newDstObj,
+                         const SetOfRegions& dstSet);
+
+/// Computes the DistDelta between two distributions of the same set: the
+/// linearization positions whose (owner, offset) mapping differs.  Both
+/// descriptors must support local enumeration; communication-free.
+layout::DistDelta computeDelta(const DistObject& oldObj,
+                               const DistObject& newObj,
+                               const SetOfRegions& set);
+
+/// Maps a sorted list of migrated global indices (e.g. from
+/// chaos::migratedGlobals) to linearization positions of `set`.  Supports
+/// index-list and range regions (the kinds whose elements *are* global
+/// indices).
+layout::DistDelta deltaFromMigratedIndices(
+    const SetOfRegions& set, std::span<const layout::Index> sortedMigrated);
+
+/// Builds the data-redistribution move for a repartitioning: a run-native
+/// schedule that migrates the payloads of delta-marked elements from their
+/// old homes (offsets into the *old* local buffer) to their new homes
+/// (offsets into the *new* local buffer).  Unmarked elements keep their
+/// (owner, offset) by the delta contract, so the caller carries them over
+/// by straight copy.  Both descriptors must support local enumeration.
+sched::Schedule buildRedistMove(transport::Comm& comm,
+                                const DistObject& oldObj,
+                                const DistObject& newObj,
+                                const SetOfRegions& set,
+                                const layout::DistDelta& delta);
 
 /// Telemetry from the last computeSchedule/computeScheduleSend/
 /// computeScheduleRecv call on this thread (each virtual processor is a
@@ -91,6 +177,14 @@ struct BuildStats {
   std::size_t kernelIndexListPlans = 0;
 };
 const BuildStats& lastBuildStats();
+
+/// Telemetry from the last patchSchedule call on this thread.
+struct PatchStats {
+  std::size_t segmentsReused = 0;   ///< old provenance slices kept as-is
+  std::size_t segmentsRebuilt = 0;  ///< fresh segments from delta intervals
+  layout::Index elementsPatched = 0;  ///< delta positions re-derived
+};
+const PatchStats& lastPatchStats();
 
 namespace testing {
 /// Routes all schedule builds through the element-wise reference pipeline

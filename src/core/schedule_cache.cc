@@ -66,6 +66,20 @@ std::shared_ptr<const McSchedule> compressed(McSchedule sched) {
   return std::make_shared<const McSchedule>(std::move(sched));
 }
 
+HashStream::Digest intraKey(transport::Comm& comm, const DistObject& srcObj,
+                            const SetOfRegions& srcSet,
+                            const DistObject& dstObj,
+                            const SetOfRegions& dstSet, Method method) {
+  HashStream h;
+  h.str("intra");
+  h.pod(method);
+  h.pod(comm.program());
+  h.pod(comm.size());
+  hashScheduleSide(h, srcObj, srcSet);
+  hashScheduleSide(h, dstObj, dstSet);
+  return h.digest();
+}
+
 }  // namespace
 
 void hashScheduleSide(HashStream& h, const DistObject& obj,
@@ -81,14 +95,7 @@ std::shared_ptr<const McSchedule> ScheduleCache::getOrBuild(
     transport::Comm& comm, const DistObject& srcObj,
     const SetOfRegions& srcSet, const DistObject& dstObj,
     const SetOfRegions& dstSet, Method method) {
-  HashStream h;
-  h.str("intra");
-  h.pod(method);
-  h.pod(comm.program());
-  h.pod(comm.size());
-  hashScheduleSide(h, srcObj, srcSet);
-  hashScheduleSide(h, dstObj, dstSet);
-  const auto key = h.digest();
+  const auto key = intraKey(comm, srcObj, srcSet, dstObj, dstSet, method);
 
   std::shared_ptr<const McSchedule> local = cache_.peek(key);
   if (agreeOnHit(comm, /*remoteProgram=*/-1, local != nullptr)) {
@@ -99,6 +106,55 @@ std::shared_ptr<const McSchedule> ScheduleCache::getOrBuild(
   auto built =
       compressed(computeSchedule(comm, srcObj, srcSet, dstObj, dstSet, method));
   cache_.insert(key, built);
+  return built;
+}
+
+std::shared_ptr<const McSchedule> ScheduleCache::getOrPatch(
+    transport::Comm& comm, const DistObject& oldSrcObj,
+    const DistObject& newSrcObj, const SetOfRegions& srcSet,
+    const DistObject& oldDstObj, const DistObject& newDstObj,
+    const SetOfRegions& dstSet, const layout::DistDelta& delta,
+    Method method) {
+  const auto oldKey =
+      intraKey(comm, oldSrcObj, srcSet, oldDstObj, dstSet, method);
+  const auto newKey =
+      intraKey(comm, newSrcObj, srcSet, newDstObj, dstSet, method);
+  // Delta-secondary key: a rank that cannot fingerprint the *new*
+  // descriptors cheaply (or whose fingerprints churn) still hits when the
+  // same (old schedule, delta) pair recurs.
+  HashStream dh;
+  dh.str("patch");
+  dh.pod(oldKey);
+  dh.pod(delta.fingerprint());
+  const auto deltaKey = dh.digest();
+
+  std::shared_ptr<const McSchedule> local = cache_.peek(newKey);
+  const bool viaNewKey = local != nullptr;
+  if (!local) local = cache_.peek(deltaKey);
+  if (agreeOnHit(comm, /*remoteProgram=*/-1, local != nullptr)) {
+    cache_.noteHit(viaNewKey ? newKey : deltaKey);
+    return local;
+  }
+  cache_.noteMiss();
+
+  // Patch only when *every* rank holds a patchable old schedule — the
+  // fallback is a collective build, so the choice must be uniform.
+  std::shared_ptr<const McSchedule> old = cache_.peek(oldKey);
+  const bool canPatch =
+      old != nullptr && patchableSchedule(*old, newSrcObj, newDstObj);
+  if (agreeOnHit(comm, /*remoteProgram=*/-1, canPatch)) {
+    ++patches_;
+    auto patched = compressed(patchSchedule(comm, *old, delta, newSrcObj,
+                                            srcSet, newDstObj, dstSet));
+    cache_.insert(newKey, patched);
+    cache_.insert(deltaKey, patched);
+    return patched;
+  }
+  ++patchFallbacks_;
+  auto built = compressed(
+      computeSchedule(comm, newSrcObj, srcSet, newDstObj, dstSet, method));
+  cache_.insert(newKey, built);
+  cache_.insert(deltaKey, built);
   return built;
 }
 

@@ -54,7 +54,25 @@ class ScheduleCache {
       const SetOfRegions& dstSet, int remoteProgram,
       Method method = Method::kCooperation);
 
+  /// Cached schedule across a repartitioning.  Looks up the new
+  /// distributions' key AND a delta-secondary key (old key + delta
+  /// fingerprint); on miss, patches the cached old schedule against `delta`
+  /// instead of rebuilding from scratch when every rank holds a patchable
+  /// copy, else falls back to a full collective build.  The patched entry
+  /// is inserted under both keys, so a later epoch that reproduces either
+  /// the same distributions or the same (old schedule, delta) pair hits
+  /// without patching again.  Collective over the program.
+  std::shared_ptr<const McSchedule> getOrPatch(
+      transport::Comm& comm, const DistObject& oldSrcObj,
+      const DistObject& newSrcObj, const SetOfRegions& srcSet,
+      const DistObject& oldDstObj, const DistObject& newDstObj,
+      const SetOfRegions& dstSet, const layout::DistDelta& delta,
+      Method method = Method::kCooperation);
+
   const CacheStats& stats() const { return cache_.stats(); }
+  /// Repartitionings served by patchSchedule vs. by a full rebuild.
+  std::uint64_t patches() const { return patches_; }
+  std::uint64_t patchFallbacks() const { return patchFallbacks_; }
   void resetStats() { cache_.resetStats(); }
   std::size_t size() const { return cache_.size(); }
   std::size_t capacity() const { return cache_.capacity(); }
@@ -63,6 +81,8 @@ class ScheduleCache {
 
  private:
   sched::KeyedCache<McSchedule> cache_;
+  std::uint64_t patches_ = 0;
+  std::uint64_t patchFallbacks_ = 0;
 };
 
 /// The calling virtual processor's schedule cache (one per rank/thread,

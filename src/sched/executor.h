@@ -142,6 +142,20 @@ class Executor {
 
   const Schedule& schedule() const { return *sched_; }
 
+  /// Re-binds this executor to a new (e.g. patched) schedule without the
+  /// cold-start costs of constructing a fresh one: recycled payload buffers
+  /// survive the re-bind (stashed payloads join them), and compiled plan
+  /// kernels are carried over for every peer whose plan is unchanged — only
+  /// plans the repartitioning actually touched recompile.  After one step
+  /// of a same-shaped schedule the executor is back to its steady state
+  /// (zero payload allocations per run).  Intra-program only.
+  void rebind(const Schedule& sched) { rebindTo(&sched, nullptr); }
+  void rebind(std::shared_ptr<const Schedule> sched) {
+    const Schedule* p = sched.get();
+    MC_REQUIRE(p != nullptr);
+    rebindTo(p, std::move(sched));
+  }
+
   // --- intra-program runs ---------------------------------------------------
 
   /// One schedule execution: pack + send, local copies, drain + unpack.
@@ -301,7 +315,14 @@ class Executor {
     bind();
   }
 
-  void bind() {
+  void bind() { bindReusing(nullptr, nullptr, nullptr); }
+
+  /// Fills all bind-time state for sched_.  When `old` (plus its compiled
+  /// kernels) is given, plans identical to the old schedule's plan for the
+  /// same peer reuse the already-compiled kernel instead of recompiling —
+  /// the rebind() fast path for untouched peers.
+  void bindReusing(const Schedule* old, std::vector<PlanKernel>* oldSend,
+                   std::vector<PlanKernel>* oldRecv) {
     const int peerProg =
         remoteProgram_ >= 0 ? remoteProgram_ : comm_->program();
     sendPlanBytes_.reserve(sched_->sends.size());
@@ -326,15 +347,64 @@ class Executor {
     // run thereafter moves bytes through the variant the plan's shape
     // earned instead of re-branching per run.
     ensureKernelMetrics();
-    sendKernels_.reserve(sched_->sends.size());
-    for (const OffsetPlan& p : sched_->sends) {
-      sendKernels_.push_back(PlanKernel::compile(p));
-    }
-    recvKernels_.reserve(sched_->recvs.size());
-    for (const OffsetPlan& p : sched_->recvs) {
-      recvKernels_.push_back(PlanKernel::compile(p));
-    }
+    compileLane(sched_->sends, old != nullptr ? &old->sends : nullptr,
+                oldSend, sendKernels_);
+    compileLane(sched_->recvs, old != nullptr ? &old->recvs : nullptr,
+                oldRecv, recvKernels_);
     localKernel_ = LocalKernel::compile(*sched_);
+  }
+
+  /// Compiles one lane of plan kernels, carrying over the old compiled
+  /// kernel for any peer whose plan is bitwise unchanged (two-pointer walk —
+  /// both lanes are sorted by peer).
+  static void compileLane(const std::vector<OffsetPlan>& plans,
+                          const std::vector<OffsetPlan>* oldPlans,
+                          std::vector<PlanKernel>* oldKernels,
+                          std::vector<PlanKernel>& out) {
+    out.reserve(plans.size());
+    std::size_t j = 0;
+    for (const OffsetPlan& p : plans) {
+      const PlanKernel* reuse = nullptr;
+      if (oldPlans != nullptr && oldKernels != nullptr) {
+        while (j < oldPlans->size() && (*oldPlans)[j].peer < p.peer) ++j;
+        if (j < oldPlans->size() && (*oldPlans)[j].peer == p.peer &&
+            (*oldPlans)[j].runs == p.runs &&
+            (*oldPlans)[j].offsets == p.offsets) {
+          reuse = &(*oldKernels)[j];
+        }
+      }
+      out.push_back(reuse != nullptr ? *reuse : PlanKernel::compile(p));
+    }
+  }
+
+  void rebindTo(const Schedule* sched, std::shared_ptr<const Schedule> keep) {
+    MC_REQUIRE(remoteProgram_ < 0, "rebind is intra-program only");
+    MC_REQUIRE(!inFlight_,
+               "split-phase run in flight: finish() it before rebind()");
+    const Schedule* old = sched_;
+    // Keep the old schedule alive until the reuse walk below is done.
+    std::shared_ptr<const Schedule> oldKeepAlive = std::move(keepAlive_);
+    std::vector<PlanKernel> oldSendKernels = std::move(sendKernels_);
+    std::vector<PlanKernel> oldRecvKernels = std::move(recvKernels_);
+    // Stashed payload capacity is as good as a free buffer; keep it.
+    for (std::vector<std::byte>& buf : stash_) {
+      if (buf.capacity() > 0) freeBufs_.push_back(std::move(buf));
+    }
+    stash_.clear();
+    sendPlanBytes_.clear();
+    slots_.clear();
+    sendKernels_.clear();
+    recvKernels_.clear();
+    footprint_.reset();
+    sched_ = sched;
+    keepAlive_ = std::move(keep);
+    bindReusing(old, &oldSendKernels, &oldRecvKernels);
+    // Trim the retained buffers to the new steady-state demand (one per
+    // send plan); the overflow returns to the world pool.
+    while (freeBufs_.size() > sched_->sends.size()) {
+      comm_->releasePayload(std::move(freeBufs_.back()));
+      freeBufs_.pop_back();
+    }
   }
 
   // --- send side ------------------------------------------------------------

@@ -7,15 +7,36 @@
 #include <cstdio>
 
 #include "common/bench_util.h"
+#include "obs/json.h"
 #include "workloads/matvec_session.h"
 
 namespace mc::bench {
 
-/// Runs sessions for every server process count and prints the component
-/// breakdown table the paper plots as a stacked bar figure.
-inline void printClientServerFigure(const std::string& title, int clientProcs,
+/// Per-case mc-bench-v1 emission of one breakdown (shared by every
+/// client/server figure bench).
+inline void addBreakdownCase(obs::BenchReport& report,
+                             const std::string& caseName,
+                             const workloads::MatvecBreakdown& b) {
+  obs::BenchReport::Case& c = report.addCase(caseName);
+  c.metric("schedule_build_seconds", b.scheduleBuild);
+  c.metric("send_matrix_seconds", b.sendMatrix);
+  c.metric("server_compute_seconds", b.serverCompute);
+  c.metric("vector_exchange_seconds", b.vectorExchange);
+  c.metric("client_local_matvec_seconds", b.clientLocalMatvec);
+  c.metric("total_seconds", b.total());
+}
+
+/// Runs sessions for every server process count, prints the component
+/// breakdown table the paper plots as a stacked bar figure, and emits the
+/// schema-valid BENCH_<benchName>.json next to it.
+inline void printClientServerFigure(const std::string& title,
+                                    const std::string& benchName,
+                                    int clientProcs,
                                     const std::vector<int>& serverProcs,
                                     int numVectors) {
+  obs::BenchReport report(benchName);
+  report.config("client_procs", clientProcs);
+  report.config("num_vectors", numVectors);
   std::vector<double> sched, matrix, server, vectors, total;
   for (int sp : serverProcs) {
     workloads::MatvecSessionConfig cfg;
@@ -28,7 +49,11 @@ inline void printClientServerFigure(const std::string& title, int clientProcs,
     server.push_back(b.serverCompute);
     vectors.push_back(b.vectorExchange);
     total.push_back(b.total());
+    addBreakdownCase(report, "s" + std::to_string(sp), b);
   }
+  const std::string out = "BENCH_" + benchName + ".json";
+  report.write(out);
+  std::printf("wrote %s\n", out.c_str());
   std::vector<std::string> cols;
   for (int sp : serverProcs) cols.push_back("S=" + std::to_string(sp));
   std::printf("%s\n",

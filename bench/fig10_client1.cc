@@ -11,6 +11,6 @@
 int main() {
   mc::bench::printClientServerFigure(
       "Figure 10: sequential client, one vector, server on 4 nodes [ms]",
-      /*clientProcs=*/1, {1, 2, 4, 8, 12, 16}, /*numVectors=*/1);
+      "fig10", /*clientProcs=*/1, {1, 2, 4, 8, 12, 16}, /*numVectors=*/1);
   return 0;
 }

@@ -6,6 +6,6 @@ int main() {
   mc::bench::printClientServerFigure(
       "Figure 11: two-process client (two nodes), one vector, server on 4 "
       "nodes [ms]",
-      /*clientProcs=*/2, {1, 2, 4, 8, 12, 16}, /*numVectors=*/1);
+      "fig11", /*clientProcs=*/2, {1, 2, 4, 8, 12, 16}, /*numVectors=*/1);
   return 0;
 }

@@ -6,6 +6,6 @@ int main() {
   mc::bench::printClientServerFigure(
       "Figure 12: four-process client (four nodes), one vector, server on "
       "4 nodes [ms]",
-      /*clientProcs=*/4, {1, 2, 4, 8, 12, 16}, /*numVectors=*/1);
+      "fig12", /*clientProcs=*/4, {1, 2, 4, 8, 12, 16}, /*numVectors=*/1);
   return 0;
 }

@@ -10,7 +10,7 @@
 int main() {
   mc::bench::printClientServerFigure(
       "Figure 13: sequential client, twenty vectors, server on 4 nodes [ms]",
-      /*clientProcs=*/1, {1, 2, 4, 8, 12, 16}, /*numVectors=*/20);
+      "fig13", /*clientProcs=*/1, {1, 2, 4, 8, 12, 16}, /*numVectors=*/20);
 
   // The paper's headline: server-vs-client speedup over the 20 multiplies.
   mc::workloads::MatvecSessionConfig cfg;
@@ -24,5 +24,16 @@ int main() {
       "(paper: 4.5x at 8 server processes)\n",
       1e3 * b.clientLocalMatvec, 1e3 * serverSide,
       b.clientLocalMatvec / serverSide);
+
+  mc::obs::BenchReport headline("fig13_headline");
+  headline.config("client_procs", 1);
+  headline.config("num_vectors", 20);
+  mc::bench::addBreakdownCase(headline, "s8", b);
+  mc::obs::BenchReport::Case& c = headline.addCase("speedup");
+  c.metric("per_vector_client_seconds", b.clientLocalMatvec);
+  c.metric("per_vector_server_seconds", serverSide);
+  c.metric("speedup", b.clientLocalMatvec / serverSide);
+  headline.write("BENCH_fig13_headline.json");
+  std::printf("wrote BENCH_fig13_headline.json\n");
   return 0;
 }

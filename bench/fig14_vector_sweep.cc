@@ -6,12 +6,16 @@
 #include <cstdio>
 
 #include "common/bench_util.h"
+#include "common/client_server.h"
 #include "workloads/matvec_session.h"
 
 using namespace mc;
 
 int main() {
   const std::vector<int> vectorCounts = {1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
+  obs::BenchReport report("fig14");
+  report.config("client_procs", 1);
+  report.config("server_procs", 8);
   std::vector<double> sched, matrix, server, vectors, total;
   for (int nv : vectorCounts) {
     workloads::MatvecSessionConfig cfg;
@@ -24,7 +28,9 @@ int main() {
     server.push_back(b.serverCompute);
     vectors.push_back(b.vectorExchange);
     total.push_back(b.total());
+    bench::addBreakdownCase(report, "v" + std::to_string(nv), b);
   }
+  report.write("BENCH_fig14.json");
   std::vector<std::string> cols;
   for (int nv : vectorCounts) cols.push_back("v=" + std::to_string(nv));
   std::printf("%s\n",

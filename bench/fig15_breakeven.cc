@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/bench_util.h"
+#include "common/client_server.h"
 #include "workloads/matvec_session.h"
 
 using namespace mc;
@@ -16,6 +17,8 @@ int main() {
   const std::vector<int> serverProcs = {2, 4, 8, 12, 16};
   const std::vector<int> clientProcs = {1, 2};
 
+  obs::BenchReport report("fig15");
+  report.config("num_vectors", 4);
   mc::AsciiTable t;
   std::vector<std::string> header{"client procs"};
   for (int sp : serverProcs) header.push_back("S=" + std::to_string(sp));
@@ -30,10 +33,18 @@ int main() {
       const workloads::MatvecBreakdown b = workloads::runMatvecSession(cfg);
       const int k = workloads::breakEvenVectors(b, cfg.numVectors);
       cells.push_back(k == 0 ? "never" : std::to_string(k));
+      const std::string name =
+          "c" + std::to_string(cp) + "_s" + std::to_string(sp);
+      obs::BenchReport::Case& bc = report.addCase(name);
+      bc.metric("break_even_vectors", static_cast<double>(k));
+      bc.metric("client_local_matvec_seconds", b.clientLocalMatvec);
+      bc.metric("total_seconds", b.total());
     }
     t.row(std::move(cells));
   }
+  report.write("BENCH_fig15.json");
   std::printf("== Figure 15: break-even number of vectors ==\n%s\n",
               t.render().c_str());
+  std::printf("wrote BENCH_fig15.json\n");
   return 0;
 }

@@ -22,13 +22,19 @@ Conventions enforced here:
     [a-z0-9_] segments joined by '.', starting with a letter;
   * every time-valued metric name ends in "_seconds" — and vice versa, a
     *_seconds metric must be a number/null/stat like any other (no strings);
-  * a stat-valued metric carries exactly the six RunningStat fields, with
-    "count" a non-negative integer; count == 0 requires null
-    mean/min/max/stddev (an empty stat is explicit, never a fake zero);
+  * a stat-valued metric carries exactly the six RunningStat fields —
+    or exactly those six plus "p50"/"p99" (a quantile stat from a
+    Reservoir) — with "count" a non-negative integer; count == 0 requires
+    null mean/min/max/stddev (and null p50/p99), an empty stat is
+    explicit, never a fake zero;
   * benchmarks listed in REQUIRED_FINITE must carry each named metric in
     every case, as a finite number (null or a stat does not satisfy it) —
     e.g. a repartition report without its migration_fraction cannot show
-    the workload stayed in the small-migration regime the speedup claims.
+    the workload stayed in the small-migration regime the speedup claims;
+  * benchmarks listed in REQUIRED_QUANTILES must carry each named metric
+    in every case as a *non-empty quantile stat* with finite p50/p99 — a
+    latency report without percentiles cannot support a tail-latency
+    claim.
 
 Usage: check_bench_json.py FILE [FILE...]   (exits non-zero on any failure)
 """
@@ -40,10 +46,19 @@ import sys
 
 KEY_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
 STAT_FIELDS = {"count", "mean", "min", "max", "stddev", "sum"}
+QUANTILE_FIELDS = {"p50", "p99"}
 
 # benchmark name -> metrics each of its cases must report as finite numbers.
 REQUIRED_FINITE = {
     "repartition": ("migration_fraction", "bytes_migrated"),
+    "server": ("latency_p50_seconds", "latency_p99_seconds",
+               "sched_share.hit_rate", "batch.occupancy_mean"),
+}
+
+# benchmark name -> metrics each of its cases must report as non-empty
+# quantile stats (the six RunningStat fields + finite p50/p99).
+REQUIRED_QUANTILES = {
+    "server": ("latency_seconds",),
 }
 
 
@@ -59,16 +74,18 @@ def check_key(errors, where, key):
 
 def check_stat(errors, where, v):
     fields = set(v.keys())
-    if fields != STAT_FIELDS:
+    if fields != STAT_FIELDS and fields != STAT_FIELDS | QUANTILE_FIELDS:
         errors.append(
             f"{where}: stat object has fields {sorted(fields)}, "
-            f"expected {sorted(STAT_FIELDS)}")
+            f"expected {sorted(STAT_FIELDS)} (optionally plus "
+            f"{sorted(QUANTILE_FIELDS)})")
         return
     count = v["count"]
     if not is_number(count) or count < 0 or count != int(count):
         errors.append(f"{where}: stat 'count' must be a non-negative integer")
         return
     moments = ["mean", "min", "max", "stddev"]
+    moments += sorted(fields & QUANTILE_FIELDS)
     if count == 0:
         for m in moments:
             if v[m] is not None:
@@ -152,6 +169,18 @@ def check_report(errors, path, doc):
                 errors.append(
                     f"{where}: benchmark '{doc.get('benchmark')}' requires "
                     f"metric '{req}' as a finite number, got {v!r}")
+        for req in REQUIRED_QUANTILES.get(doc.get("benchmark"), ()):
+            v = metrics.get(req)
+            ok = (isinstance(v, dict)
+                  and set(v.keys()) == STAT_FIELDS | QUANTILE_FIELDS
+                  and is_number(v.get("count")) and v["count"] > 0
+                  and all(is_number(v.get(q)) and math.isfinite(v[q])
+                          for q in QUANTILE_FIELDS))
+            if not ok:
+                errors.append(
+                    f"{where}: benchmark '{doc.get('benchmark')}' requires "
+                    f"metric '{req}' as a non-empty quantile stat with "
+                    f"finite p50/p99, got {v!r}")
 
 
 def main(argv):

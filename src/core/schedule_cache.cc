@@ -208,6 +208,68 @@ std::shared_ptr<const McSchedule> ScheduleCache::getOrBuildRecv(
   return built;
 }
 
+std::shared_ptr<const McSchedule> ScheduleCache::getOrBuildSendByLayout(
+    transport::Comm& comm, const DistObject& srcObj,
+    const SetOfRegions& srcSet, int remoteProgram,
+    const HashStream::Digest& remoteLayout, Method method) {
+  // Program identities (local and remote) are deliberately absent from the
+  // key: only the two layouts and the topology widths matter, so a schedule
+  // built against client program 3 serves client program 57 with the same
+  // layout.  The executor retargets plan peers via globalRankOf at bind.
+  HashStream h;
+  h.str("send_layout");
+  h.pod(method);
+  h.pod(comm.size());
+  h.pod(comm.programInfo(remoteProgram).nprocs);
+  h.pod(remoteLayout);
+  hashScheduleSide(h, srcObj, srcSet);
+  const auto key = h.digest();
+
+  std::shared_ptr<const McSchedule> local = cache_.peek(key);
+  if (agreeOnHit(comm, remoteProgram, local != nullptr)) {
+    cache_.noteHit(key);
+    return local;
+  }
+  cache_.noteMiss();
+  auto built = compressed(
+      computeScheduleSend(comm, srcObj, srcSet, remoteProgram, method));
+  cache_.insert(key, built);
+  return built;
+}
+
+std::shared_ptr<const McSchedule> ScheduleCache::getOrBuildRecvByLayout(
+    transport::Comm& comm, const DistObject& dstObj,
+    const SetOfRegions& dstSet, int remoteProgram,
+    const HashStream::Digest& remoteLayout, Method method) {
+  HashStream h;
+  h.str("recv_layout");
+  h.pod(method);
+  h.pod(comm.size());
+  h.pod(comm.programInfo(remoteProgram).nprocs);
+  h.pod(remoteLayout);
+  hashScheduleSide(h, dstObj, dstSet);
+  const auto key = h.digest();
+
+  std::shared_ptr<const McSchedule> local = cache_.peek(key);
+  if (agreeOnHit(comm, remoteProgram, local != nullptr)) {
+    cache_.noteHit(key);
+    return local;
+  }
+  cache_.noteMiss();
+  auto built = compressed(
+      computeScheduleRecv(comm, dstObj, dstSet, remoteProgram, method));
+  cache_.insert(key, built);
+  return built;
+}
+
+HashStream::Digest scheduleSideDigest(const DistObject& obj,
+                                      const SetOfRegions& set) {
+  HashStream h;
+  h.str("side");
+  hashScheduleSide(h, obj, set);
+  return h.digest();
+}
+
 ScheduleCache& defaultScheduleCache() {
   thread_local ScheduleCache cache;
   // Register the singleton's counters into the rank's metrics registry the

@@ -54,6 +54,25 @@ class ScheduleCache {
       const SetOfRegions& dstSet, int remoteProgram,
       Method method = Method::kCooperation);
 
+  /// Layout-keyed inter-program halves for cross-client sharing: the key
+  /// hashes the *remote side's layout fingerprint digest* instead of the
+  /// remote program's identity, so the Nth client program presenting a
+  /// layout some earlier client already built against hits regardless of
+  /// its program id.  `remoteProgram` still names the peer for the
+  /// collective hit/miss agreement and the build itself — it just does not
+  /// enter the key.  Collective over both programs, paired like the
+  /// identity-keyed forms.
+  std::shared_ptr<const McSchedule> getOrBuildSendByLayout(
+      transport::Comm& comm, const DistObject& srcObj,
+      const SetOfRegions& srcSet, int remoteProgram,
+      const HashStream::Digest& remoteLayout,
+      Method method = Method::kCooperation);
+  std::shared_ptr<const McSchedule> getOrBuildRecvByLayout(
+      transport::Comm& comm, const DistObject& dstObj,
+      const SetOfRegions& dstSet, int remoteProgram,
+      const HashStream::Digest& remoteLayout,
+      Method method = Method::kCooperation);
+
   /// Cached schedule across a repartitioning.  Looks up the new
   /// distributions' key AND a delta-secondary key (old key + delta
   /// fingerprint); on miss, patches the cached old schedule against `delta`
@@ -95,5 +114,12 @@ ScheduleCache& defaultScheduleCache();
 /// library-level caches and tests.
 void hashScheduleSide(HashStream& h, const DistObject& obj,
                       const SetOfRegions& set);
+
+/// The side digest as a value — the "layout fingerprint" a client presents
+/// to the compute server and the *ByLayout lookups key on.  Note the
+/// adapter fingerprint inside is rank-local: a program canonicalizes by
+/// broadcasting rank 0's digest before using it as a shared identity.
+HashStream::Digest scheduleSideDigest(const DistObject& obj,
+                                      const SetOfRegions& set);
 
 }  // namespace mc::core

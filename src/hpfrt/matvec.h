@@ -20,12 +20,16 @@
 // rounding only.
 #pragma once
 
+#include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <utility>
 
 #include "hpfrt/hpf_array.h"
 #include "obs/span.h"
 #include "sched/executor.h"
+#include "sched/serialize.h"
 
 namespace mc::hpfrt {
 
@@ -106,6 +110,7 @@ class MatvecEngine {
         at = g + 1;
       }
       if (at < n_) remoteRanges_.emplace_back(at, n_);
+      localLen_ = x.dist().localShape(me).numElements();
     });
   }
 
@@ -172,7 +177,106 @@ class MatvecEngine {
     });
   }
 
+  /// Batched multiply: y_j = A * x_j for k operand vectors, `xs` holding
+  /// vector j's local operand block at [j*localLen, (j+1)*localLen) and
+  /// `ys` receiving vector j's owned rows at [j*myRows, (j+1)*myRows).
+  /// The operand assembly is ONE fused exchange (sched::batchReplicate):
+  /// each peer pair still exchanges a single message, now carrying all k
+  /// blocks — a batch of compatible requests costs one exchange's latency.
+  /// Per (row, vector) the accumulation order is exactly multiply()'s
+  /// (owned columns in pack order, then remote ranges ascending), so every
+  /// y_j is bitwise identical to a multiply() on x_j alone, for any k and
+  /// any batch composition.  `pollHook`, when given, runs between row
+  /// chunks — the compute server polls the *next* staged batch's receives
+  /// there, so batch k+1's operand blocks drain under batch k's compute.
+  void multiplyBatch(const HpfArray<T>& A, std::span<const T> xs,
+                     std::span<T> ys, int k,
+                     const std::function<void()>& pollHook = {}) {
+    transport::Comm& comm = *comm_;
+    MC_REQUIRE(k >= 1);
+    MC_REQUIRE(A.globalShape().rank == 2 && A.globalShape()[1] == n_);
+    MC_REQUIRE(A.dist().dims()[1].procs == 1,
+               "matvec requires a (BLOCK, *) matrix distribution");
+    const layout::Index myRows = A.dist().localShape(comm.rank())[0];
+    MC_REQUIRE(static_cast<layout::Index>(xs.size()) == k * localLen_,
+               "xs must hold k local operand blocks");
+    MC_REQUIRE(static_cast<layout::Index>(ys.size()) == k * myRows,
+               "ys must hold k owned-row blocks");
+    const std::span<const T> a = A.raw();
+    BatchExec& be = batchExec(k);
+    fullBatch_.resize(static_cast<size_t>(k) * static_cast<size_t>(n_));
+
+    auto pending = be.exec->start(xs);
+    obs::ScopedSpan ownedSpan(obs::phase::kCompute);
+    constexpr layout::Index kRowChunk = 32;
+    for (layout::Index r0 = 0; r0 < myRows; r0 += kRowChunk) {
+      const layout::Index r1 = std::min(myRows, r0 + kRowChunk);
+      comm.compute([&] {
+        for (layout::Index r = r0; r < r1; ++r) {
+          const size_t rowBase = static_cast<size_t>(r * n_);
+          for (int j = 0; j < k; ++j) {
+            const T* xo = xs.data() + static_cast<size_t>(j) *
+                                          static_cast<size_t>(localLen_);
+            T acc{};
+            for (const auto& [g, off] : ownCols_) {
+              acc += a[rowBase + static_cast<size_t>(g)] *
+                     xo[static_cast<size_t>(off)];
+            }
+            ys[static_cast<size_t>(j) * static_cast<size_t>(myRows) +
+               static_cast<size_t>(r)] = acc;
+          }
+        }
+      });
+      pending.poll();
+      if (pollHook) pollHook();
+    }
+    ownedSpan.end();
+    pending.finish(fullBatch_);
+
+    obs::ScopedSpan remoteSpan(obs::phase::kCompute);
+    comm.compute([&] {
+      for (layout::Index r = 0; r < myRows; ++r) {
+        const size_t rowBase = static_cast<size_t>(r * n_);
+        for (int j = 0; j < k; ++j) {
+          const T* full = fullBatch_.data() +
+                          static_cast<size_t>(j) * static_cast<size_t>(n_);
+          T acc = ys[static_cast<size_t>(j) * static_cast<size_t>(myRows) +
+                     static_cast<size_t>(r)];
+          for (const auto& [lo, hi] : remoteRanges_) {
+            for (layout::Index c = lo; c < hi; ++c) {
+              acc += a[rowBase + static_cast<size_t>(c)] *
+                     full[static_cast<size_t>(c)];
+            }
+          }
+          ys[static_cast<size_t>(j) * static_cast<size_t>(myRows) +
+             static_cast<size_t>(r)] = acc;
+        }
+      }
+    });
+  }
+
+  layout::Index operandLocalLen() const { return localLen_; }
+
  private:
+  /// Per-batch-size fused schedule + executor, built once per k and kept
+  /// (unique_ptr: executors hold pointers into their schedule, so entries
+  /// must never relocate).
+  struct BatchExec {
+    sched::Schedule sched;
+    std::optional<sched::Executor<T>> exec;
+  };
+  BatchExec& batchExec(int k) {
+    std::unique_ptr<BatchExec>& be = batchExecs_[k];
+    if (!be) {
+      comm_->compute([&] {
+        be = std::make_unique<BatchExec>();
+        be->sched = sched::batchReplicate(sched_, k, localLen_, n_);
+      });
+      be->exec.emplace(*comm_, be->sched);
+    }
+    return *be;
+  }
+
   transport::Comm* comm_;
   layout::Index n_;
   sched::Schedule sched_;  // operand-block exchange (no local transfers)
@@ -182,6 +286,9 @@ class MatvecEngine {
   // (the executor points into sched_).
   std::optional<sched::Executor<T>> exec_;
   std::vector<T> full_;  // assembled operand (owned range unused)
+  layout::Index localLen_ = 0;  // operand elements owned by this rank
+  std::map<int, std::unique_ptr<BatchExec>> batchExecs_;  // by batch size
+  std::vector<T> fullBatch_;  // k assembled operands, back to back
 };
 
 /// y = A * x (collective).  A must be (BLOCK, *) and x, y BLOCK with the

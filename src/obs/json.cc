@@ -138,6 +138,15 @@ void BenchReport::Case::metric(const std::string& name,
   metrics_[name] = m;
 }
 
+void BenchReport::Case::metric(const std::string& name, const Reservoir& r) {
+  MetricValue m;
+  m.kind = MetricValue::Kind::kQuantileStat;
+  m.stat = r.stat();
+  m.p50 = r.p50();  // NaN when empty -> null in JSON
+  m.p99 = r.p99();
+  metrics_[name] = m;
+}
+
 namespace {
 
 void writeMetric(JsonWriter& j, const MetricValue& m) {
@@ -154,6 +163,10 @@ void writeMetric(JsonWriter& j, const MetricValue& m) {
   j.kv("max", m.stat.max());
   j.kv("stddev", m.stat.stddev());
   j.kv("sum", m.stat.sum());
+  if (m.kind == MetricValue::Kind::kQuantileStat) {
+    j.kv("p50", m.p50);             // NaN -> null when empty
+    j.kv("p99", m.p99);
+  }
   j.endObject();
 }
 

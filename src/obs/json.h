@@ -16,6 +16,8 @@
 //           "<dotted.metric>": { "count": N, "mean": x|null, "min": x|null,
 //                                "max": x|null, "stddev": x|null,
 //                                "sum": x }        // a RunningStat
+//           "<dotted.metric>": { ...same six..., "p50": x|null,
+//                                "p99": x|null }   // a Reservoir
 //         } }, ... ]
 //   }
 //
@@ -72,12 +74,15 @@ class JsonWriter {
   bool afterKey_ = false;
 };
 
-/// One metric value: a plain number or an aggregated RunningStat.
+/// One metric value: a plain number, an aggregated RunningStat, or a
+/// quantile stat (RunningStat moments + p50/p99 from a Reservoir).
 struct MetricValue {
-  enum class Kind { kNumber, kStat };
+  enum class Kind { kNumber, kStat, kQuantileStat };
   Kind kind = Kind::kNumber;
   double number = 0;
   RunningStat stat;
+  double p50 = 0;
+  double p99 = 0;
 };
 
 /// The shared BENCH_*.json emitter (see file comment for the schema).
@@ -96,6 +101,9 @@ class BenchReport {
     void metric(const std::string& name, double v);
     /// Aggregated metric; an empty stat emits count 0 with null moments.
     void metric(const std::string& name, const RunningStat& s);
+    /// Quantile metric: the six RunningStat fields plus "p50"/"p99" from
+    /// the reservoir (null when empty) — eight fields total.
+    void metric(const std::string& name, const Reservoir& r);
 
    private:
     friend class BenchReport;

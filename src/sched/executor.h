@@ -298,6 +298,25 @@ class Executor {
     drainCopy(dst, comm_->nextInterTag(remoteProgram_));
   }
 
+  /// Split-phase receiver half: allocates the paired inter-program tag *now*
+  /// — so it lines up with the remote sender's runSend in the usual paired
+  /// tag-allocation order — and returns a Pending to poll/finish later.
+  /// Between startRecv and finish the receiver's rank is free to compute;
+  /// the compute server stages batch k+1's receives this way so their
+  /// messages drain underneath batch k's multiply.
+  Pending startRecv() {
+    MC_REQUIRE(remoteProgram_ >= 0, "intra-program executor: use start");
+    MC_REQUIRE(!inFlight_,
+               "split-phase run already in flight: finish() it first");
+    const int tag = comm_->nextInterTag(remoteProgram_);
+    ++runEpoch_;
+    inFlight_ = true;
+    pendingTag_ = tag;
+    pendingSrc_ = {};
+    arrived_ = 0;
+    return Pending(this);
+  }
+
  private:
   struct RecvSlot {
     int srcGlobal = 0;       // sender's global rank (the arrival-order key)
@@ -600,7 +619,7 @@ class Executor {
       // receive happens in finish, in peer order.
       return pendingDone();
     }
-    const int prog = comm_->program();
+    const int prog = remoteProgram_ >= 0 ? remoteProgram_ : comm_->program();
     while (!pendingDone()) {
       std::optional<transport::Message> m =
           comm_->tryRecvMsgAnyOf(prog, pendingTag_);

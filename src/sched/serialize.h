@@ -1,0 +1,193 @@
+// Flat-byte serialization of communication schedules, and batch
+// replication of inter-program halves.
+//
+// Serialization is what lets the compute server share inspector results
+// *across client programs*: the first client with a given layout builds its
+// send schedule collectively, uploads the serialized form, and every later
+// client with the same layout fingerprint downloads the bytes instead of
+// running an inspector.  A schedule's plan peers are remote-program-LOCAL
+// ranks (the executor converts them via globalRankOf at bind), so the same
+// bytes retarget to any program id — that is the whole point.
+//
+// batchReplicate turns one inter-program schedule into a fused k-request
+// schedule: each peer's plan repeats k times with its offsets shifted by a
+// per-copy stride, so executing the fused schedule ships ONE message per
+// peer pair carrying all k operand blocks — the paper's
+// one-message-per-pair aggregation property, preserved across a whole
+// request batch.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "util/error.h"
+
+namespace mc::sched {
+
+namespace detail {
+
+inline void putU64(std::vector<std::byte>& out, std::uint64_t v) {
+  const std::size_t pos = out.size();
+  out.resize(pos + sizeof(v));
+  std::memcpy(out.data() + pos, &v, sizeof(v));
+}
+
+template <typename T>
+void putPods(std::vector<std::byte>& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  putU64(out, v.size());
+  const std::size_t pos = out.size();
+  out.resize(pos + v.size() * sizeof(T));
+  if (!v.empty()) std::memcpy(out.data() + pos, v.data(), v.size() * sizeof(T));
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint64_t u64() {
+    MC_REQUIRE(pos_ + sizeof(std::uint64_t) <= data_.size(),
+               "truncated schedule blob");
+    std::uint64_t v = 0;
+    std::memcpy(&v, data_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> pods() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = u64();
+    MC_REQUIRE(n <= (data_.size() - pos_) / sizeof(T),
+               "truncated schedule blob");
+    std::vector<T> v(static_cast<std::size_t>(n));
+    if (n > 0) {
+      std::memcpy(v.data(), data_.data() + pos_,
+                  static_cast<std::size_t>(n) * sizeof(T));
+      pos_ += static_cast<std::size_t>(n) * sizeof(T);
+    }
+    return v;
+  }
+
+  bool atEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline constexpr std::uint64_t kScheduleBlobVersion = 1;
+
+/// Serializes a schedule to a flat byte blob (version-tagged; POD runs and
+/// offsets are copied raw).  Round-trips exactly through
+/// deserializeSchedule.
+inline std::vector<std::byte> serializeSchedule(const Schedule& s) {
+  std::vector<std::byte> out;
+  detail::putU64(out, kScheduleBlobVersion);
+  detail::putU64(out, s.bufferLocalCopies ? 1 : 0);
+  for (const std::vector<OffsetPlan>* lane : {&s.sends, &s.recvs}) {
+    detail::putU64(out, lane->size());
+    for (const OffsetPlan& p : *lane) {
+      detail::putU64(out, static_cast<std::uint64_t>(p.peer));
+      detail::putPods(out, p.offsets);
+      detail::putPods(out, p.runs);
+    }
+  }
+  // std::pair is not trivially copyable; flatten to (from, to) index pairs.
+  std::vector<layout::Index> flatPairs;
+  flatPairs.reserve(s.localPairs.size() * 2);
+  for (const auto& [from, to] : s.localPairs) {
+    flatPairs.push_back(from);
+    flatPairs.push_back(to);
+  }
+  detail::putPods(out, flatPairs);
+  detail::putPods(out, s.localRuns);
+  return out;
+}
+
+/// Inverse of serializeSchedule; validates sizes and the version tag.
+inline Schedule deserializeSchedule(std::span<const std::byte> blob) {
+  detail::ByteReader r(blob);
+  MC_REQUIRE(r.u64() == kScheduleBlobVersion,
+             "unknown schedule blob version");
+  Schedule s;
+  s.bufferLocalCopies = r.u64() != 0;
+  for (std::vector<OffsetPlan>* lane : {&s.sends, &s.recvs}) {
+    const std::uint64_t n = r.u64();
+    lane->reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      OffsetPlan p;
+      p.peer = static_cast<int>(r.u64());
+      p.offsets = r.pods<layout::Index>();
+      p.runs = r.pods<OffsetRun>();
+      lane->push_back(std::move(p));
+    }
+  }
+  const std::vector<layout::Index> flatPairs = r.pods<layout::Index>();
+  MC_REQUIRE(flatPairs.size() % 2 == 0, "malformed local-pair lane");
+  s.localPairs.reserve(flatPairs.size() / 2);
+  for (std::size_t i = 0; i < flatPairs.size(); i += 2) {
+    s.localPairs.emplace_back(flatPairs[i], flatPairs[i + 1]);
+  }
+  s.localRuns = r.pods<LocalRun>();
+  MC_REQUIRE(r.atEnd(), "trailing bytes in schedule blob");
+  return s;
+}
+
+/// Replicates an inter-program schedule k times into one fused exchange:
+/// copy j of every send plan shifts its offsets by j*sendStride (the
+/// sender-local operand length) and copy j of every receive plan by
+/// j*recvStride (the receiver-local destination length).  Each peer keeps a
+/// single plan whose payload carries the k blocks back to back, so a batch
+/// of k compatible requests still sends at most one message per processor
+/// pair.  Local transfers are not supported (inter-program halves have
+/// none).
+inline Schedule batchReplicate(const Schedule& s, int k,
+                               layout::Index sendStride,
+                               layout::Index recvStride) {
+  MC_REQUIRE(k >= 1, "batchReplicate needs k >= 1");
+  MC_REQUIRE(s.localElementCount() == 0,
+             "batchReplicate is for inter-program halves (no local plans)");
+  Schedule out;
+  out.bufferLocalCopies = s.bufferLocalCopies;
+  auto replicate = [k](const std::vector<OffsetPlan>& lane,
+                       layout::Index stride) {
+    std::vector<OffsetPlan> fused;
+    fused.reserve(lane.size());
+    for (const OffsetPlan& p : lane) {
+      OffsetPlan f;
+      f.peer = p.peer;
+      // Replicate whichever forms are present so the fused plan stays
+      // consistent (runs-first plans stay runs-first).
+      if (!p.runs.empty() || p.offsets.empty()) {
+        f.runs.reserve(p.runs.size() * static_cast<std::size_t>(k));
+        for (int j = 0; j < k; ++j) {
+          for (const OffsetRun& run : p.runs) {
+            f.runs.push_back(
+                OffsetRun{run.start + j * stride, run.count, run.stride});
+          }
+        }
+      }
+      if (!p.offsets.empty()) {
+        f.offsets.reserve(p.offsets.size() * static_cast<std::size_t>(k));
+        for (int j = 0; j < k; ++j) {
+          for (const layout::Index off : p.offsets) {
+            f.offsets.push_back(off + j * stride);
+          }
+        }
+      }
+      fused.push_back(std::move(f));
+    }
+    return fused;
+  };
+  out.sends = replicate(s.sends, sendStride);
+  out.recvs = replicate(s.recvs, recvStride);
+  return out;
+}
+
+}  // namespace mc::sched

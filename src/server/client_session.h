@@ -1,0 +1,77 @@
+// ClientSession — the client half of the compute-server protocol.
+//
+// A client program constructs one ClientSession per tenancy, attach()es
+// (registering with the server and either building its send schedule
+// collectively or — when the server has seen this layout before —
+// downloading the archived serialized schedule at zero inspector cost),
+// then issues any number of request()s (each one matvec round trip through
+// the server's admission control and batching scheduler), and detach()es.
+// Sessions are dynamic: programs may attach, detach, and re-attach at any
+// point in the server's life without the server rebuilding anything.
+#pragma once
+
+#include <memory>
+
+#include "core/schedule_builder.h"
+#include "parti/dist_array.h"
+#include "transport/comm.h"
+
+namespace mc::server {
+
+struct SessionConfig {
+  layout::Index n = 256;  // matrix dimension (must match the server's)
+  // Extra trailing elements on the client's operand/result vectors.  The
+  // requested region is always [0, n-1], but the padded distribution gives
+  // the session a distinct layout fingerprint — the knob benchmarks and
+  // tests turn to control how many distinct layouts the server sees.
+  layout::Index pad = 0;
+  int matrixId = 0;
+  int serverProgram = 0;
+  core::Method method = core::Method::kCooperation;
+  double flopsPerSecond = 4e6;  // for the client-local alternative
+};
+
+struct AttachStats {
+  double scheduleSeconds = 0;  // attach handshake + schedule build/download
+  double matrixSeconds = 0;    // matrix schedule + ship (0 when not needed)
+  bool sharedSchedule = false;  // downloaded an earlier client's schedule
+  bool shippedMatrix = false;
+};
+
+struct RequestResult {
+  double latencySeconds = 0;  // submit -> result received, rank 0's clock
+  double serverComputeSeconds = 0;  // this request's share of its batch
+  bool backedOff = false;  // admission bounced the first submit
+};
+
+class ClientSession {
+ public:
+  /// Per-rank construction; allocates the client's Parti arrays and fills
+  /// the matrix (matrixEntry).  Collective-free.
+  ClientSession(transport::Comm& comm, SessionConfig config);
+  ~ClientSession();
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  /// Registers with the server.  Collective over the client program (and,
+  /// on a schedule miss, over the server program too).
+  AttachStats attach();
+
+  /// One y = A x round trip: fill x() first.  Collective over the client
+  /// program; every rank returns the same result (rank 0's timings).
+  RequestResult request();
+
+  /// Retires the session.  Collective over the client program.
+  void detach();
+
+  parti::BlockDistArray<double>& x();
+  parti::BlockDistArray<double>& y();
+  parti::BlockDistArray<double>& matrix();
+  long long sessionId() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mc::server

@@ -1,0 +1,80 @@
+// Control-plane protocol of the multi-tenant compute server.
+//
+// One server program hosts many client programs over a single World::run:
+// clients attach (registering a session against the server's persistent
+// state), submit matvec requests, and detach — all through fixed-tag
+// point-to-point control messages between the client's rank 0 and the
+// server's rank 0.  Control traffic deliberately lives on kControlTag, a
+// region of tag space untouched by the paired inter-program tag counters
+// (user tags occupy [1<<20, 1<<20 + 1<<18), inter-program tags start at
+// 1<<24), so an attach/submit/detach never perturbs the tag pairing that
+// data schedules depend on — sessions can come and go without rebuilding
+// or even pausing the server's data plane.
+#pragma once
+
+#include <cstdint>
+
+#include "layout/index.h"
+
+namespace mc::server {
+
+/// Fixed tag for all control-plane messages (see file comment).
+inline constexpr int kControlTag = 1 << 23;
+
+/// Hard ceiling on requests coalesced into one batch (the Command POD
+/// carries member session ids inline).  ServerConfig::maxBatch must not
+/// exceed it.
+inline constexpr int kMaxBatch = 16;
+
+enum MsgKind : int {
+  kMsgAttach = 1,
+  kMsgSubmit = 2,
+  kMsgDetach = 3,
+};
+
+/// Client rank 0 -> server rank 0.  POD (sendValueTo/recvValueFrom).
+struct ControlMsg {
+  int kind = 0;  // MsgKind
+  long long sessionId = -1;  // kMsgSubmit / kMsgDetach
+  layout::Index n = 0;       // kMsgAttach: matrix dimension (must match the
+                             // server's configured n)
+  int matrixId = 0;          // kMsgAttach: which matrix this session applies
+  int method = 0;            // kMsgAttach: core::Method as int
+  int clientProcs = 0;       // kMsgAttach: client program width
+  int retry = 0;             // kMsgSubmit: 1 after an admission rejection
+  // kMsgAttach: the client's canonical (rank 0) operand-layout fingerprint
+  // — the cross-client sharing key.
+  std::uint64_t xDigest[2] = {0, 0};
+};
+
+/// Server rank 0 -> client rank 0, answering kMsgAttach.
+struct AttachAck {
+  long long sessionId = -1;
+  int cached = 0;      // 1: layout already known — download the serialized
+                       // send schedule instead of running an inspector
+  int needMatrix = 0;  // 1: first session for this matrixId — ship it
+};
+
+/// Server rank 0 -> client rank 0, answering kMsgSubmit.
+struct SubmitAck {
+  int granted = 0;
+  // Backpressure signal when not granted: the server's estimate of how long
+  // the client should back off before retrying.
+  double retryAfterSeconds = 0;
+};
+
+/// Server rank 0 -> client rank 0 after the request's result vector has
+/// been sent: per-request share of the batch's compute time.
+struct DoneMsg {
+  double computeSeconds = 0;
+};
+
+/// The matrix every session multiplies against, parameterized by matrixId
+/// so distinct matrices force distinct server-side arrays (matrixId 0
+/// reproduces the original single-session matvec values).
+inline double matrixEntry(int matrixId, layout::Index i, layout::Index j) {
+  return 1.0 / (1.0 + static_cast<double>(i + j) +
+                static_cast<double>(matrixId));
+}
+
+}  // namespace mc::server

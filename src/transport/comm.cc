@@ -183,6 +183,27 @@ bool Comm::probe(int src, int tag) {
   return world_->mail.probe(globalRank_, srcGlobal, tag);
 }
 
+Message Comm::recvMsgAnyOfPrograms(int progLo, int progHi, int tag) {
+  MC_REQUIRE(progLo >= 0 && progLo <= progHi && progHi < numPrograms(),
+             "bad program span [%d, %d] of %d", progLo, progHi,
+             numPrograms());
+  const ProgramInfo& lo = programInfo(progLo);
+  const ProgramInfo& hi = programInfo(progHi);
+  return recvGlobalRange(lo.firstGlobalRank,
+                         hi.firstGlobalRank + hi.nprocs - 1, tag);
+}
+
+std::optional<Message> Comm::tryRecvMsgAnyOfPrograms(int progLo, int progHi,
+                                                     int tag) {
+  MC_REQUIRE(progLo >= 0 && progLo <= progHi && progHi < numPrograms(),
+             "bad program span [%d, %d] of %d", progLo, progHi,
+             numPrograms());
+  const ProgramInfo& lo = programInfo(progLo);
+  const ProgramInfo& hi = programInfo(progHi);
+  return tryRecvGlobalRange(lo.firstGlobalRank,
+                            hi.firstGlobalRank + hi.nprocs - 1, tag);
+}
+
 bool Comm::probeAnyOf(int prog, int tag) {
   const ProgramInfo& info = programInfo(prog);
   return world_->mail.probeRange(globalRank_, info.firstGlobalRank,

@@ -203,6 +203,21 @@ class Comm {
   /// Probe matching any rank of program `prog` (the probe analogue of
   /// recvMsgAnyOf, scoped to that program's global-rank range).
   bool probeAnyOf(int prog, int tag);
+  /// Blocking receive matching any rank of any program in [progLo, progHi]
+  /// (a contiguous program span) with tag `tag`.  Built on the same
+  /// MailboxTable::receiveRange rank-range scoping as recvMsgAnyOf — this
+  /// is the control-plane primitive of the multi-tenant compute server,
+  /// whose rank 0 serves requests from a whole span of client programs
+  /// without knowing which will speak next.
+  Message recvMsgAnyOfPrograms(int progLo, int progHi, int tag);
+  /// Non-blocking recvMsgAnyOfPrograms.
+  std::optional<Message> tryRecvMsgAnyOfPrograms(int progLo, int progHi,
+                                                 int tag);
+  /// Program id of a world (global) rank — e.g. to identify the client a
+  /// wildcard control message came from.
+  int programOf(int globalRank) const {
+    return world_->programOf.at(static_cast<size_t>(globalRank));
+  }
 
   // --- point to point across programs --------------------------------------
   void sendBytesTo(int prog, int rankInProg, int tag,

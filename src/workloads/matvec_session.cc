@@ -1,29 +1,23 @@
 #include "workloads/matvec_session.h"
 
+#include <algorithm>
 #include <cmath>
 
-#include "core/adapters/hpf_adapter.h"
-#include "core/adapters/parti_adapter.h"
-#include "core/data_move.h"
-#include "core/schedule_cache.h"
-#include "hpfrt/matvec.h"
 #include "parti/dist_array.h"
+#include "server/client_session.h"
+#include "server/compute_server.h"
 
 namespace mc::workloads {
 
 using layout::Index;
 using layout::Point;
 using layout::RegularSection;
-using layout::Shape;
 using transport::Comm;
 using transport::ProgramSpec;
 using transport::World;
 
 namespace {
 
-double matrixEntry(Index i, Index j) {
-  return 1.0 / (1.0 + static_cast<double>(i + j));
-}
 double vectorEntry(Index i, int iter) {
   return static_cast<double>((i + iter) % 13) - 6.0;
 }
@@ -56,6 +50,9 @@ void clientMatvec(Comm& comm, const parti::BlockDistArray<double>& A,
 }  // namespace
 
 int breakEvenVectors(const MatvecBreakdown& b, int numVectors) {
+  // A session that never shipped a vector breaks even immediately: there
+  // is no per-vector cost to amortize the fixed cost against.
+  if (numVectors == 0) return 0;
   MC_REQUIRE(numVectors > 0);
   const double perVectorServer =
       (b.serverCompute + b.vectorExchange) / numVectors;
@@ -69,7 +66,7 @@ int breakEvenVectors(const MatvecBreakdown& b, int numVectors) {
 MatvecBreakdown runMatvecSession(const MatvecSessionConfig& config) {
   MatvecBreakdown result;
   const Index n = config.n;
-  const int kClient = 0, kServer = 1;
+  const int kServer = 1;
 
   transport::WorldOptions options;
   options.net.interNode = transport::atmParams();
@@ -77,127 +74,57 @@ MatvecBreakdown runMatvecSession(const MatvecSessionConfig& config) {
   options.net.contention = config.contention;
   options.net.nodesPerProgram = {config.clientProcs, config.serverNodes};
 
+  // One tenancy on the multi-tenant compute server: attach (schedule +
+  // matrix phases), a request per vector, detach.  Batch size 1 keeps the
+  // per-vector accounting of the original single-session figures.
   auto clientMain = [&](Comm& c) {
-    // Client data: matrix BLOCK by rows, vectors BLOCK (Multiblock Parti).
-    parti::BlockDistArray<double> A(
-        c, layout::BlockDecomp(Shape::of({n, n}), {c.size(), 1}), 0);
-    parti::BlockDistArray<double> x(
-        c, layout::BlockDecomp(Shape::of({n}), {c.size()}), 0);
-    parti::BlockDistArray<double> y(
-        c, layout::BlockDecomp(Shape::of({n}), {c.size()}), 0);
-    A.fillByPoint([](const Point& p) { return matrixEntry(p[0], p[1]); });
+    server::SessionConfig scfg;
+    scfg.n = n;
+    scfg.serverProgram = kServer;
+    scfg.method = config.method;
+    scfg.flopsPerSecond = config.flopsPerSecond;
+    server::ClientSession session(c, scfg);
+    const server::AttachStats attach = session.attach();
 
-    core::SetOfRegions mSet, vSet;
-    mSet.add(core::Region::section(
-        RegularSection::box({0, 0}, {n - 1, n - 1})));
-    vSet.add(core::Region::section(RegularSection::box({0}, {n - 1})));
-
-    // --- phase 1: schedules --------------------------------------------
     c.barrier();
     const double t0 = c.now();
-    // Cached builds (cold the first session, hits on a repeat with the
-    // same shapes); the server pairs the same lookups in the same order.
-    const auto mSend = core::defaultScheduleCache().getOrBuildSend(
-        c, core::PartiAdapter::describe(A), mSet, kServer, config.method);
-    const auto xSend = core::defaultScheduleCache().getOrBuildSend(
-        c, core::PartiAdapter::describe(x), vSet, kServer, config.method);
-    const core::McSchedule yRecv = core::reverseSchedule(*xSend);
+    double serverCompute = 0;
+    for (int it = 0; it < config.numVectors; ++it) {
+      session.x().fillByPoint(
+          [&](const Point& p) { return vectorEntry(p[0], it); });
+      serverCompute += session.request().serverComputeSeconds;
+    }
     c.barrier();
     const double t1 = c.now();
+    session.detach();
 
-    // --- phase 2: ship the matrix ----------------------------------------
-    core::dataMoveSend<double>(c, *mSend, A.raw());
-    // The transfer completes when the server acknowledges unpacking; fold
-    // that into the phase by a cross-program ack to rank 0.
-    {
-      const int tag = c.nextInterTag(kServer);
-      if (c.rank() == 0) (void)c.recvValueFrom<int>(kServer, 0, tag);
-    }
+    // --- client-local alternative (one matvec) ---------------------------
     c.barrier();
     const double t2 = c.now();
-
-    // --- phase 3: vectors ---------------------------------------------------
-    for (int it = 0; it < config.numVectors; ++it) {
-      x.fillByPoint([&](const Point& p) { return vectorEntry(p[0], it); });
-      core::dataMoveSend<double>(c, *xSend, x.raw());
-      core::dataMoveRecv<double>(c, yRecv, y.raw());
-    }
+    clientMatvec(c, session.matrix(), session.x(), session.y(),
+                 config.flopsPerSecond);
     c.barrier();
     const double t3 = c.now();
 
-    // Server-side compute total arrives out of band after the timed region.
-    double serverCompute = 0;
-    {
-      const int tag = c.nextInterTag(kServer);
-      if (c.rank() == 0) {
-        serverCompute = c.recvValueFrom<double>(kServer, 0, tag);
-      }
-      std::vector<double> tmp{serverCompute};
-      c.bcast(tmp, 0);
-      serverCompute = tmp[0];
-    }
-
-    // --- client-local alternative (one matvec) -------------------------------
-    c.barrier();
-    const double t4 = c.now();
-    clientMatvec(c, A, x, y, config.flopsPerSecond);
-    c.barrier();
-    const double t5 = c.now();
-
     if (c.rank() == 0) {
-      result.scheduleBuild = t1 - t0;
-      result.sendMatrix = t2 - t1;
+      result.scheduleBuild = attach.scheduleSeconds;
+      result.sendMatrix = attach.matrixSeconds;
       result.serverCompute = serverCompute;
-      result.vectorExchange = (t3 - t2) - serverCompute;
-      result.clientLocalMatvec = t5 - t4;
+      result.vectorExchange = (t1 - t0) - serverCompute;
+      result.clientLocalMatvec = t3 - t2;
     }
   };
 
   auto serverMain = [&](Comm& c) {
-    hpfrt::HpfArray<double> A(c, hpfrt::matvecMatrixDist(n, c.size()));
-    hpfrt::HpfArray<double> x(c, hpfrt::matvecVectorDist(n, c.size()));
-    hpfrt::HpfArray<double> y(c, hpfrt::matvecVectorDist(n, c.size()));
-    core::SetOfRegions mSet, vSet;
-    mSet.add(core::Region::section(
-        RegularSection::box({0, 0}, {n - 1, n - 1})));
-    vSet.add(core::Region::section(RegularSection::box({0}, {n - 1})));
-
-    const auto mRecv = core::defaultScheduleCache().getOrBuildRecv(
-        c, core::HpfAdapter::describe(A), mSet, kClient, config.method);
-    const auto xRecv = core::defaultScheduleCache().getOrBuildRecv(
-        c, core::HpfAdapter::describe(x), vSet, kClient, config.method);
-    const core::McSchedule ySend = core::reverseSchedule(*xRecv);
-
-    core::dataMoveRecv<double>(c, *mRecv, A.raw());
-    {
-      const int tag = c.nextInterTag(kClient);
-      c.barrier();
-      if (c.rank() == 0) c.sendValueTo(kClient, 0, tag, 1);
-    }
-
-    // Persistent engine: the operand-assembly schedule builds once and the
-    // per-vector multiplies overlap that exchange with the owned-column
-    // partial product, reusing message buffers across vectors.
-    hpfrt::MatvecEngine<double> engine(x);
-    double computeTotal = 0;
-    for (int it = 0; it < config.numVectors; ++it) {
-      core::dataMoveRecv<double>(c, *xRecv, x.raw());
-      c.barrier();
-      const double t0 = c.now();
-      engine.multiply(A, x, y);
-      // Era-calibrated arithmetic cost (see MatvecSessionConfig).
-      c.advance(2.0 *
-                static_cast<double>(A.dist().localShape(c.rank())[0] * n) /
-                config.flopsPerSecond);
-      c.barrier();
-      const double t1 = c.now();
-      computeTotal += t1 - t0;
-      core::dataMoveSend<double>(c, ySend, y.raw());
-    }
-    {
-      const int tag = c.nextInterTag(kClient);
-      if (c.rank() == 0) c.sendValueTo(kClient, 0, tag, computeTotal);
-    }
+    server::ServerConfig scfg;
+    scfg.n = n;
+    scfg.totalSessions = 1;
+    scfg.queueDepth = 2;
+    scfg.maxBatch = 1;
+    scfg.method = config.method;
+    scfg.flopsPerSecond = config.flopsPerSecond;
+    server::ComputeServer srv(c, scfg);
+    srv.run();
   };
 
   World::run({ProgramSpec{"client", config.clientProcs, clientMain},

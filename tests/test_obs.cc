@@ -387,6 +387,82 @@ TEST(BenchReport, NanMetricEmitsNull) {
   EXPECT_NE(report.render().find("\"bad\": null"), std::string::npos);
 }
 
+// --- quantile reservoirs --------------------------------------------------
+
+TEST(ReservoirStat, ExactQuantilesBelowCapacity) {
+  Reservoir r(128);
+  for (int v = 1; v <= 100; ++v) r.add(static_cast<double>(v));
+  // Nearest-rank on the full stream: ceil(q * 100).
+  EXPECT_DOUBLE_EQ(r.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(r.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(r.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(r.quantile(-0.5), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(r.quantile(2.0), 100.0);
+}
+
+TEST(ReservoirStat, EmptyIsNaNNotZero) {
+  Reservoir r;
+  EXPECT_TRUE(std::isnan(r.p50()));
+  EXPECT_TRUE(std::isnan(r.p99()));
+}
+
+TEST(ReservoirStat, DeterministicPastCapacity) {
+  Reservoir a(64, 42), b(64, 42);
+  for (int v = 0; v < 1000; ++v) {
+    const double x = static_cast<double>((v * 7919) % 1000);
+    a.add(x);
+    b.add(x);
+  }
+  // Same seed, same insertion order -> identical sample set, run to run.
+  EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+  EXPECT_EQ(a.stat().count(), 1000u);
+}
+
+TEST(ReservoirStat, MergeMatchesPooledStream) {
+  Reservoir a(2048), b(2048), pooled(2048);
+  RunningStat ref;
+  for (int v = 0; v < 500; ++v) {
+    a.add(static_cast<double>(v));
+    pooled.add(static_cast<double>(v));
+    ref.add(static_cast<double>(v));
+  }
+  for (int v = 500; v < 1000; ++v) {
+    b.add(static_cast<double>(v));
+    pooled.add(static_cast<double>(v));
+    ref.add(static_cast<double>(v));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.stat().count(), 1000u);
+  EXPECT_NEAR(a.stat().mean(), ref.mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.stat().min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stat().max(), 999.0);
+  // Below 4x capacity the merged samples are the full stream: exact.
+  EXPECT_DOUBLE_EQ(a.p50(), pooled.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), pooled.p99());
+}
+
+TEST(BenchReport, ReservoirMetricEmitsQuantileFields) {
+  BenchReport report("unit");
+  BenchReport::Case& cs = report.addCase("case_one");
+  Reservoir filled(64);
+  for (int v = 1; v <= 10; ++v) filled.add(static_cast<double>(v));
+  cs.metric("lat_seconds", filled);
+  cs.metric("empty_seconds", Reservoir{});
+  const std::string out = report.render();
+  // Eight fields: the six RunningStat moments plus p50/p99.
+  EXPECT_NE(out.find("\"lat_seconds\": {\"count\": 10"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"p50\": 5"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"p99\": 10"), std::string::npos) << out;
+  // An empty reservoir is explicit: null quantiles, never a fake zero.
+  EXPECT_NE(out.find("\"empty_seconds\": {\"count\": 0"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"p50\": null"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"p99\": null"), std::string::npos) << out;
+}
+
 TEST(JsonWriterTest, EscapesStrings) {
   JsonWriter w;
   w.beginObject();

@@ -156,5 +156,58 @@ TEST(MatvecSession, BreakEvenArithmetic) {
   EXPECT_EQ(breakEvenVectors(b, 1), 0);
 }
 
+TEST(MatvecSession, BreakEvenEdgeCases) {
+  MatvecBreakdown b;
+  b.scheduleBuild = 2.0;
+  b.sendMatrix = 1.0;
+  b.serverCompute = 0.8;
+  b.vectorExchange = 0.8;
+  b.clientLocalMatvec = 0.5;
+  // A zero-vector session has no per-vector cost to amortize against.
+  EXPECT_EQ(breakEvenVectors(b, 0), 0);
+  // Per-vector server cost (1.6 / 4 = 0.4) exactly ties the client at
+  // clientLocalMatvec = 0.4: zero gain means the server never wins.
+  b.clientLocalMatvec = 0.4;
+  EXPECT_EQ(breakEvenVectors(b, 4), 0);
+  // Just above the tie it wins, with a large break-even count.
+  b.clientLocalMatvec = 0.4 + 0.001;
+  EXPECT_EQ(breakEvenVectors(b, 4), 3000);  // 3.0 / 0.001
+}
+
+TEST(MatvecSession, ZeroVectorSessionRunsAndChargesNoPerVectorCost) {
+  MatvecSessionConfig cfg;
+  cfg.n = 48;
+  cfg.clientProcs = 1;
+  cfg.serverProcs = 2;
+  cfg.numVectors = 0;  // attach + detach, no requests
+  const MatvecBreakdown b = runMatvecSession(cfg);
+  EXPECT_EQ(b.serverCompute, 0.0);
+  EXPECT_GT(b.scheduleBuild, 0.0);
+  EXPECT_GT(b.sendMatrix, 0.0);
+  EXPECT_GE(b.vectorExchange, 0.0);
+  EXPECT_EQ(breakEvenVectors(b, cfg.numVectors), 0);
+}
+
+TEST(MatvecSession, TotalIsAdditiveAcrossProcessCounts) {
+  for (const auto& [cp, sp] : {std::pair{1, 2}, std::pair{2, 4}}) {
+    MatvecSessionConfig cfg;
+    cfg.n = 48;
+    cfg.clientProcs = cp;
+    cfg.serverProcs = sp;
+    cfg.numVectors = 2;
+    const MatvecBreakdown b = runMatvecSession(cfg);
+    EXPECT_DOUBLE_EQ(
+        b.total(),
+        b.scheduleBuild + b.sendMatrix + b.serverCompute + b.vectorExchange)
+        << "c" << cp << "_s" << sp;
+    EXPECT_GE(b.scheduleBuild, 0.0);
+    EXPECT_GE(b.sendMatrix, 0.0);
+    EXPECT_GT(b.serverCompute, 0.0);
+    EXPECT_GE(b.vectorExchange, 0.0);
+    // The client-local alternative is measured but excluded from total().
+    EXPECT_GT(b.clientLocalMatvec, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace mc::workloads

@@ -9,6 +9,14 @@
 // (maxBatch=8) is A/B'd against serial execution (maxBatch=1) at every
 // client count to expose the p99 latency win.
 //
+// A second sweep varies server processes per node (server on 8, 4, 2, 1
+// nodes -> 1, 2, 4, 8 procs per node) with a per-message NIC cost on every
+// inter-node link — the Section 5.4 regime where latencies rise again as
+// node sharing grows.  Each point is A/B'd flat against topology-aware
+// execution (node-aggregated executors + hierarchical collectives) under
+// the *same* network parameters, so the aggregated path's flattening of
+// the curve is attributable to messaging strategy alone.
+//
 // Emits BENCH_server.json (mc-bench-v1): per case, the full latency
 // reservoir with p50/p99, admission-queue accounting, batch occupancy, and
 // the schedule-sharing hit rate.
@@ -22,6 +30,7 @@
 
 #include "common/bench_util.h"
 #include "obs/json.h"
+#include "sched/node_agg.h"
 #include "server/client_session.h"
 #include "server/compute_server.h"
 #include "util/stats.h"
@@ -63,8 +72,15 @@ struct SweepResult {
   std::uint64_t requests = 0;
 };
 
+/// One server/clients world.  `serverNodes` controls node sharing on the
+/// server side; `nicPerMessage` puts a per-message cost on every inter-node
+/// link; `topologyAware` switches on node-aggregated executors plus
+/// hierarchical collectives (the network parameters stay the same, only the
+/// messaging strategy changes).
 SweepResult runSweep(int numClients, int requestsPerClient,
-                     std::uint64_t seed, Index n, int maxBatch) {
+                     std::uint64_t seed, Index n, int maxBatch,
+                     int serverNodes = kServerNodes,
+                     double nicPerMessage = 0.0, bool topologyAware = false) {
   std::vector<std::vector<double>> latencies(
       static_cast<std::size_t>(numClients));
   std::vector<int> backoffs(static_cast<std::size_t>(numClients), 0);
@@ -76,7 +92,12 @@ SweepResult runSweep(int numClients, int requestsPerClient,
   options.net.contention = true;
   options.net.nodesPerProgram.assign(
       static_cast<std::size_t>(numClients) + 1, 1);
-  options.net.nodesPerProgram[0] = kServerNodes;
+  options.net.nodesPerProgram[0] = serverNodes;
+  options.net.interNode.nicPerMessage = nicPerMessage;
+  options.net.hierarchicalCollectives = topologyAware;
+  // Process-wide, captured at executor bind; set before the world's threads
+  // launch and restored after they all join.
+  sched::setNodeAggregation(topologyAware);
 
   // Heavy-tailed think time: bounded Pareto (alpha=1.5) scaled to the
   // per-request service estimate, so large client counts queue up bursts.
@@ -124,6 +145,7 @@ SweepResult runSweep(int numClients, int requestsPerClient,
         }});
   }
   World::run(specs, options);
+  sched::setNodeAggregation(false);
 
   SweepResult res;
   res.stats = stats;
@@ -140,8 +162,9 @@ SweepResult runSweep(int numClients, int requestsPerClient,
   return res;
 }
 
-void addCase(obs::BenchReport& report, const std::string& name,
-             const SweepResult& r, int clients, double p99VsUnbatched) {
+obs::BenchReport::Case& addCase(obs::BenchReport& report,
+                                const std::string& name, const SweepResult& r,
+                                int clients, double p99VsUnbatched) {
   obs::BenchReport::Case& c = report.addCase(name);
   c.metric("clients", static_cast<double>(clients));
   c.metric("requests", static_cast<double>(r.requests));
@@ -165,6 +188,7 @@ void addCase(obs::BenchReport& report, const std::string& name,
   c.metric("queue.deferred", static_cast<double>(r.stats.deferred));
   c.metric("client_backoffs", static_cast<double>(r.backoffs));
   if (p99VsUnbatched > 0) c.metric("p99_vs_unbatched", p99VsUnbatched);
+  return c;
 }
 
 }  // namespace
@@ -206,6 +230,7 @@ int main(int argc, char** argv) {
   report.config("seed", static_cast<double>(seed));
   report.config("distinct_layouts", kNumPads);
   report.config("matrices", kNumMatrices);
+  report.config("sweep_nic_per_message_seconds", 100e-6);
 
   std::printf(
       "== compute-server sweep: %d-process server on %d nodes, n=%lld ==\n",
@@ -230,6 +255,54 @@ int main(int argc, char** argv) {
                     ? batched.stats.batchOccupancy.mean()
                     : 1.0,
                 static_cast<unsigned long long>(batched.stats.rejected));
+  }
+
+  // Processes-per-node contention sweep (Section 5.4): the same 8-process
+  // server packed onto fewer nodes, with a per-message NIC cost on every
+  // inter-node link.  Flat execution pays one message per remote rank and
+  // one flat collective hop per rank, both scaled by node sharing, so
+  // latency climbs with procs per node; the topology-aware legs (same
+  // network, node-aggregated executors + hierarchical collectives) flatten
+  // the curve.
+  constexpr double kNicPerMessage = 100e-6;
+  const int sweepClients = clientCounts.front();
+  std::printf(
+      "\n== procs-per-node contention sweep: %d clients, nic/message %.0f us "
+      "==\n",
+      sweepClients, kNicPerMessage * 1e6);
+  std::printf("%8s %8s %15s %15s %14s %10s\n", "nodes", "ppn",
+              "flat mean[ms]", "topo mean[ms]", "topo p99[ms]", "speedup");
+  for (const int nodes : {8, 4, 2, 1}) {
+    const int ppn = kServerProcs / nodes;
+    // Serial execution (maxBatch=1): batching composition is sensitive to
+    // tiny timing shifts, which would swamp the messaging-strategy signal
+    // this sweep isolates.  The headline number is the *mean* latency over
+    // all requests — tail order under queueing is chaotic in both legs,
+    // the mean is where the per-message NIC saving shows cleanly.
+    const SweepResult flat =
+        runSweep(sweepClients, requests, seed, n, /*maxBatch=*/1, nodes,
+                 kNicPerMessage, /*topologyAware=*/false);
+    const SweepResult topo =
+        runSweep(sweepClients, requests, seed, n, /*maxBatch=*/1, nodes,
+                 kNicPerMessage, /*topologyAware=*/true);
+    const double flatMean = flat.latencies.stat().mean();
+    const double topoMean = topo.latencies.stat().mean();
+    const double speedup = topoMean > 0 ? flatMean / topoMean : 1.0;
+    const std::string tag = "ppn" + std::to_string(ppn);
+    obs::BenchReport::Case& cf =
+        addCase(report, tag + "_flat", flat, sweepClients, 0.0);
+    cf.metric("server_nodes", static_cast<double>(nodes));
+    cf.metric("procs_per_node", static_cast<double>(ppn));
+    cf.metric("latency_mean_seconds", flatMean);
+    obs::BenchReport::Case& ct =
+        addCase(report, tag + "_topo", topo, sweepClients, 0.0);
+    ct.metric("server_nodes", static_cast<double>(nodes));
+    ct.metric("procs_per_node", static_cast<double>(ppn));
+    ct.metric("latency_mean_seconds", topoMean);
+    ct.metric("mean_speedup_vs_flat", speedup);
+    std::printf("%8d %8d %15.3f %15.3f %14.3f %9.2fx\n", nodes, ppn,
+                1e3 * flatMean, 1e3 * topoMean, 1e3 * topo.latencies.p99(),
+                speedup);
   }
   report.write("BENCH_server.json");
   std::printf("wrote BENCH_server.json\n");

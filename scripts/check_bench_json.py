@@ -53,6 +53,11 @@ REQUIRED_FINITE = {
     "repartition": ("migration_fraction", "bytes_migrated"),
     "server": ("latency_p50_seconds", "latency_p99_seconds",
                "sched_share.hit_rate", "batch.occupancy_mean"),
+    # Per-link-class traffic attribution: a data-move report that cannot
+    # say how many messages crossed nodes cannot support a topology claim.
+    "data_move": ("link.inter_node.messages", "link.inter_node.bytes",
+                  "link.intra_node.messages", "link.intra_node.bytes",
+                  "link.forwarded.messages", "link.forwarded.bytes"),
 }
 
 # benchmark name -> metrics each of its cases must report as non-empty

@@ -53,6 +53,7 @@
 // messages are drained and discarded so the next run sees a clean mailbox.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <memory>
@@ -63,6 +64,7 @@
 #include "obs/span.h"
 #include "sched/footprint.h"
 #include "sched/kernels.h"
+#include "sched/node_agg.h"
 #include "sched/plan_exec.h"
 #include "sched/schedule.h"
 #include "transport/comm.h"
@@ -168,7 +170,11 @@ class Executor {
                "split-phase run in flight: finish() it before run()");
     sendPhase(src, tag);
     localPhase(src, dst, /*add=*/false);
-    drainCopy(dst, tag);
+    if (agg_) {
+      drainAggregated(dst, tag, /*add=*/false);
+    } else {
+      drainCopy(dst, tag);
+    }
   }
   void run(std::span<const T> src, std::span<T> dst) {
     run(src, dst, comm_->nextUserTag());
@@ -184,7 +190,11 @@ class Executor {
                "split-phase run in flight: finish() it before runAdd()");
     sendPhase(src, tag);
     localPhase(src, dst, /*add=*/true);
-    drainAdd(dst, tag);
+    if (agg_) {
+      drainAggregated(dst, tag, /*add=*/true);
+    } else {
+      drainAdd(dst, tag);
+    }
   }
   void runAdd(std::span<const T> src, std::span<T> dst) {
     runAdd(src, dst, comm_->nextUserTag());
@@ -362,6 +372,8 @@ class Executor {
       slots_.push_back(s);
     }
     stash_.resize(sched_->recvs.size());
+    stashOff_.assign(sched_->recvs.size(), 0);
+    bindAggregation();
     // Compile the dispatch kernels once per bind (see kernels.h): every
     // run thereafter moves bytes through the variant the plan's shape
     // earned instead of re-branching per run.
@@ -426,23 +438,105 @@ class Executor {
     }
   }
 
+  // --- node aggregation -----------------------------------------------------
+
+  /// Captures the process-wide aggregation flag for this bind and derives
+  /// the per-node send grouping and receive expectations.  Intra-program
+  /// only; with aggregation on, binds are collective over the program (the
+  /// node leader learns which frames to expect via an intra-node exchange).
+  void bindAggregation() {
+    agg_ = false;
+    directSendIdx_.clear();
+    aggGroups_.clear();
+    frameSrcs_.clear();
+    directRecvPeers_.clear();
+    aggExpected_ = 0;
+    if (remoteProgram_ >= 0 || !nodeAggregation()) return;
+    MC_REQUIRE(alignof(T) <= 8,
+               "node aggregation supports element alignment up to 8");
+    agg_ = true;
+    const int myNode = comm_->myNode();
+    // Group send plans by destination node; plans stay in peer order inside
+    // each group and groups sort by leader, so framing is deterministic.
+    for (std::size_t i = 0; i < sched_->sends.size(); ++i) {
+      const OffsetPlan& plan = sched_->sends[i];
+      if (comm_->nodeOfRank(plan.peer) == myNode) {
+        directSendIdx_.push_back(i);
+        continue;
+      }
+      const int leader = comm_->leaderOfRank(plan.peer);
+      AggGroup* g = nullptr;
+      for (AggGroup& cand : aggGroups_) {
+        if (cand.leader == leader) {
+          g = &cand;
+          break;
+        }
+      }
+      if (g == nullptr) {
+        aggGroups_.push_back(AggGroup{leader, kAggMsgHeaderBytes, {}});
+        g = &aggGroups_.back();
+      }
+      g->frameBytes += kAggSegHeaderBytes + sendPlanBytes_[i];
+      g->planIdx.push_back(i);
+    }
+    std::sort(aggGroups_.begin(), aggGroups_.end(),
+              [](const AggGroup& a, const AggGroup& b) {
+                return a.leader < b.leader;
+              });
+    // Receive expectations: same-node sources arrive directly (in plan
+    // order under kPeer); remote sources arrive inside frames at the node
+    // leader, which forwards other ranks' segments intra-node.
+    std::vector<std::int32_t> myRemote;
+    for (const RecvSlot& s : slots_) {
+      const int srcLocal = comm_->localRankOfGlobal(s.srcGlobal);
+      if (comm_->nodeOfRank(srcLocal) == myNode) {
+        directRecvPeers_.push_back(srcLocal);
+      } else {
+        myRemote.push_back(s.srcGlobal);
+      }
+    }
+    const int tag = comm_->nextUserTag();
+    if (!comm_->isNodeLeader()) {
+      comm_->send(comm_->nodeLeader(), tag, myRemote);
+      aggExpected_ = directRecvPeers_.size() + myRemote.size();
+    } else {
+      std::vector<std::int32_t> uni = myRemote;
+      for (int r : comm_->nodePeers()) {
+        if (r == comm_->rank()) continue;
+        const std::vector<std::int32_t> peerRemote =
+            comm_->recv<std::int32_t>(r, tag);
+        uni.insert(uni.end(), peerRemote.begin(), peerRemote.end());
+      }
+      std::sort(uni.begin(), uni.end());
+      uni.erase(std::unique(uni.begin(), uni.end()), uni.end());
+      frameSrcs_.assign(uni.begin(), uni.end());
+      aggExpected_ = directRecvPeers_.size() + frameSrcs_.size();
+    }
+  }
+
   // --- send side ------------------------------------------------------------
 
+  void packInto(std::size_t i, std::span<const T> src, std::byte* out) {
+    const OffsetPlan& plan = sched_->sends[i];
+    if (kernelDispatchEnabled()) {
+      packKernel<T>(sendKernels_[i], plan, src, reinterpret_cast<T*>(out));
+    } else {
+      packPlan<T>(plan, src, reinterpret_cast<T*>(out));
+    }
+  }
+
   void sendPhase(std::span<const T> src, int tag) {
+    if (agg_) {
+      sendPhaseAggregated(src, tag);
+      return;
+    }
     obs::ScopedSpan sendSpan(obs::phase::kSend);
     for (std::size_t i = 0; i < sched_->sends.size(); ++i) {
       const OffsetPlan& plan = sched_->sends[i];
       std::vector<std::byte> payload = obtainBuffer(sendPlanBytes_[i]);
       {
         obs::ScopedSpan packSpan(obs::phase::kPack);
-        comm_->compute([&] {
-          if (kernelDispatchEnabled()) {
-            packKernel<T>(sendKernels_[i], plan, src,
-                          reinterpret_cast<T*>(payload.data()));
-          } else {
-            packPlan<T>(plan, src, reinterpret_cast<T*>(payload.data()));
-          }
-        });
+        comm_->compute([&] { packInto(i, src, payload.data()); });
       }
       if (remoteProgram_ >= 0) {
         comm_->sendBytesTo(remoteProgram_, plan.peer, tag,
@@ -450,6 +544,46 @@ class Executor {
       } else {
         comm_->sendBytes(plan.peer, tag, std::move(payload));
       }
+    }
+  }
+
+  /// Aggregated sends: same-node peers get their ordinary per-peer message
+  /// (with a routing header), every remote *node* gets exactly ONE framed
+  /// message addressed to its leader — so this rank emits at most nodes-1
+  /// inter-node messages per schedule step.
+  void sendPhaseAggregated(std::span<const T> src, int tag) {
+    obs::ScopedSpan sendSpan(obs::phase::kSend);
+    for (std::size_t i : directSendIdx_) {
+      const OffsetPlan& plan = sched_->sends[i];
+      std::vector<std::byte> payload =
+          obtainBuffer(kAggMsgHeaderBytes + sendPlanBytes_[i]);
+      writeAggMsgHeader(payload.data(), kAggData, comm_->globalRank());
+      {
+        obs::ScopedSpan packSpan(obs::phase::kPack);
+        comm_->compute(
+            [&] { packInto(i, src, payload.data() + kAggMsgHeaderBytes); });
+      }
+      comm_->sendBytes(plan.peer, tag, std::move(payload));
+    }
+    for (const AggGroup& g : aggGroups_) {
+      std::vector<std::byte> payload = obtainBuffer(g.frameBytes);
+      writeAggMsgHeader(payload.data(), kAggFrame, comm_->globalRank());
+      {
+        obs::ScopedSpan packSpan(obs::phase::kPack);
+        comm_->compute([&] {
+          std::byte* p = payload.data() + kAggMsgHeaderBytes;
+          for (std::size_t i : g.planIdx) {
+            writeAggSegHeader(
+                p,
+                comm_->globalRankOf(comm_->program(), sched_->sends[i].peer),
+                sendPlanBytes_[i]);
+            p += kAggSegHeaderBytes;
+            packInto(i, src, p);
+            p += sendPlanBytes_[i];
+          }
+        });
+      }
+      comm_->sendBytes(g.leader, tag, std::move(payload));
     }
   }
 
@@ -551,30 +685,31 @@ class Executor {
     return comm_->recvMsgAnyOf(prog, tag);
   }
 
-  /// Routes a drained message to its plan by sender rank, verifying size
-  /// and that no plan is served twice in one run.
-  std::size_t slotFor(const transport::Message& m) {
+  /// Routes a drained payload to its plan by the *original* sender's global
+  /// rank, verifying size and that no plan is served twice in one run.
+  std::size_t slotForSrc(int srcGlobal, std::size_t nbytes) {
     std::size_t lo = 0, hi = slots_.size();
     while (lo < hi) {
       const std::size_t mid = (lo + hi) / 2;
-      if (slots_[mid].srcGlobal < m.srcGlobal) {
+      if (slots_[mid].srcGlobal < srcGlobal) {
         lo = mid + 1;
       } else {
         hi = mid;
       }
     }
-    MC_REQUIRE(lo < slots_.size() && slots_[lo].srcGlobal == m.srcGlobal,
-               "unexpected message from global rank %d (tag %d)", m.srcGlobal,
-               m.tag);
+    MC_REQUIRE(lo < slots_.size() && slots_[lo].srcGlobal == srcGlobal,
+               "unexpected message from global rank %d", srcGlobal);
     RecvSlot& slot = slots_[lo];
     MC_REQUIRE(slot.epoch != runEpoch_,
-               "duplicate message from global rank %d in one run",
-               m.srcGlobal);
+               "duplicate message from global rank %d in one run", srcGlobal);
     slot.epoch = runEpoch_;
-    MC_REQUIRE(m.payload.size() == slot.bytes,
-               "schedule mismatch: peer sent %zu bytes, expected %zu",
-               m.payload.size(), slot.bytes);
+    MC_REQUIRE(nbytes == slot.bytes,
+               "schedule mismatch: peer sent %zu bytes, expected %zu", nbytes,
+               slot.bytes);
     return lo;  // slot index == plan index (both sorted by peer)
+  }
+  std::size_t slotFor(const transport::Message& m) {
+    return slotForSrc(m.srcGlobal, m.payload.size());
   }
 
   void drainCopy(std::span<T> dst, int tag) {
@@ -601,48 +736,97 @@ class Executor {
     }
   }
 
-  // --- split-phase internals ------------------------------------------------
+  // --- aggregated receive side ----------------------------------------------
 
-  /// Verifies, sizes, and stashes one drained message by plan slot.
-  void stashMessage(transport::Message&& m) {
-    stash_[slotFor(m)] = std::move(m.payload);
-    ++arrived_;
-  }
-
-  bool pendingDone() const { return arrived_ == sched_->recvs.size(); }
-
-  bool pollPending() {
+  /// Next aggregated-mode message.  Under kPeer the receive order is fixed
+  /// for deterministic virtual clocks: direct same-node sources in plan
+  /// order, then frames in sorted-source order (leader) or the leader's
+  /// forwards in FIFO order (member).  The leader's direct sends precede
+  /// its forwards in its own program order, so the member-side FIFO per
+  /// (source, tag) pair keeps the two streams from crossing.
+  transport::Message nextAggMessage(std::size_t n, int tag) {
+    obs::ScopedSpan span(obs::phase::kRecvWait);
     if (drainOrder() == DrainOrder::kPeer) {
-      // kPeer is the deterministic-clock debug mode: consuming messages at
-      // wall-clock-dependent moments would reorder the virtual-clock max
-      // arithmetic, so the opportunistic drain is disabled and every
-      // receive happens in finish, in peer order.
-      return pendingDone();
+      if (n < directRecvPeers_.size()) {
+        return comm_->recvMsg(directRecvPeers_[n], tag);
+      }
+      if (comm_->isNodeLeader()) {
+        const std::size_t j = n - directRecvPeers_.size();
+        return comm_->recvMsg(comm_->localRankOfGlobal(frameSrcs_[j]), tag);
+      }
+      return comm_->recvMsg(comm_->nodeLeader(), tag);
     }
-    const int prog = remoteProgram_ >= 0 ? remoteProgram_ : comm_->program();
-    while (!pendingDone()) {
-      std::optional<transport::Message> m =
-          comm_->tryRecvMsgAnyOf(prog, pendingTag_);
-      if (!m.has_value()) break;
-      stashMessage(std::move(*m));
-    }
-    return pendingDone();
+    return comm_->recvMsgAnyOf(comm_->program(), tag);
   }
 
-  void finishPending(std::span<T> dst, bool add) {
-    // Drain whatever poll() did not get (blocking).  In kPeer mode nothing
-    // was stashed, so arrived_ walks the plans in peer order exactly as
-    // drainCopy/drainAdd would; in kArrival mode nextMessage ignores it.
-    while (!pendingDone()) stashMessage(nextMessage(arrived_, pendingTag_));
-    localPhase(pendingSrc_, dst, add);
-    // Unpack in plan order: copy unpacks commute (disjoint per-peer
-    // offsets), adds must apply in peer order — either way this is bitwise
-    // identical to the corresponding run()/runAdd().
+  /// Aggregated-mode intake for one message: a data payload stashes by its
+  /// header's original source; a frame is split — the segment addressed to
+  /// this rank stays stashed, every other segment re-sends to its same-node
+  /// destination with a data header carrying the original source.
+  void stashAggMessage(transport::Message&& m, int tag) {
+    MC_REQUIRE(m.payload.size() >= kAggMsgHeaderBytes,
+               "aggregated message shorter than its header");
+    const AggMsgHeader h = readAggMsgHeader(m.payload.data());
+    if (h.kind == kAggData) {
+      const std::size_t k =
+          slotForSrc(h.srcGlobal, m.payload.size() - kAggMsgHeaderBytes);
+      stash_[k] = std::move(m.payload);
+      stashOff_[k] = kAggMsgHeaderBytes;
+      return;
+    }
+    MC_REQUIRE(h.kind == kAggFrame, "bad aggregated message kind %d", h.kind);
+    MC_REQUIRE(comm_->isNodeLeader(),
+               "aggregated frame delivered to a non-leader rank");
+    constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+    std::size_t ownSlot = kNoSlot;
+    std::size_t ownOff = 0;
+    std::size_t pos = kAggMsgHeaderBytes;
+    while (pos < m.payload.size()) {
+      MC_REQUIRE(pos + kAggSegHeaderBytes <= m.payload.size(),
+                 "truncated segment header in aggregated frame");
+      const AggSegHeader seg = readAggSegHeader(m.payload.data() + pos);
+      pos += kAggSegHeaderBytes;
+      const auto segBytes = static_cast<std::size_t>(seg.bytes);
+      MC_REQUIRE(pos + segBytes <= m.payload.size(),
+                 "truncated segment payload in aggregated frame");
+      if (seg.dstGlobal == comm_->globalRank()) {
+        MC_REQUIRE(ownSlot == kNoSlot,
+                   "two segments for one rank in one aggregated frame");
+        ownSlot = slotForSrc(h.srcGlobal, segBytes);
+        ownOff = pos;
+      } else {
+        std::vector<std::byte> fwd =
+            comm_->acquirePayload(kAggMsgHeaderBytes + segBytes);
+        writeAggMsgHeader(fwd.data(), kAggData, h.srcGlobal);
+        std::memcpy(fwd.data() + kAggMsgHeaderBytes, m.payload.data() + pos,
+                    segBytes);
+        comm_->noteForwarded(segBytes);
+        comm_->sendBytes(comm_->localRankOfGlobal(seg.dstGlobal), tag,
+                         std::move(fwd));
+      }
+      pos += segBytes;
+    }
+    MC_REQUIRE(pos == m.payload.size(),
+               "trailing bytes in aggregated frame");
+    if (ownSlot != kNoSlot) {
+      stash_[ownSlot] = std::move(m.payload);
+      stashOff_[ownSlot] = ownOff;
+    } else {
+      recycle(std::move(m.payload));
+    }
+  }
+
+  /// Unpacks every stashed payload in plan order (honoring each stash's
+  /// aggregated-mode byte offset) and recycles the buffers.  Copy unpacks
+  /// commute (disjoint per-peer offsets) and adds apply in peer order, so
+  /// results are bitwise identical to the flat drain.
+  void unpackStash(std::span<T> dst, bool add) {
     for (std::size_t k = 0; k < sched_->recvs.size(); ++k) {
       const OffsetPlan& plan = sched_->recvs[k];
       obs::ScopedSpan span(obs::phase::kUnpack);
       comm_->compute([&] {
-        const T* payload = reinterpret_cast<const T*>(stash_[k].data());
+        const T* payload =
+            reinterpret_cast<const T*>(stash_[k].data() + stashOff_[k]);
         if (kernelDispatchEnabled()) {
           if (add) {
             unpackAddKernel<T>(recvKernels_[k], plan, payload, dst);
@@ -657,7 +841,77 @@ class Executor {
       });
       recycle(std::move(stash_[k]));
       stash_[k] = {};
+      stashOff_[k] = 0;
     }
+  }
+
+  void drainAggregated(std::span<T> dst, int tag, bool add) {
+    ++runEpoch_;
+    for (std::size_t n = 0; n < aggExpected_; ++n) {
+      stashAggMessage(nextAggMessage(n, tag), tag);
+    }
+    unpackStash(dst, add);
+  }
+
+  // --- split-phase internals ------------------------------------------------
+
+  /// Verifies, sizes, and stashes one drained message by plan slot.
+  void stashMessage(transport::Message&& m) {
+    stash_[slotFor(m)] = std::move(m.payload);
+    ++arrived_;
+  }
+
+  /// Messages one run consumes (in aggregated mode frames and forwards
+  /// replace the per-peer messages, so the count differs from recvs.size()).
+  std::size_t expectedMessages() const {
+    return agg_ ? aggExpected_ : sched_->recvs.size();
+  }
+
+  bool pendingDone() const { return arrived_ == expectedMessages(); }
+
+  /// Blocking intake of one more pending message (either drain mode).
+  void drainOnePending() {
+    if (agg_) {
+      stashAggMessage(nextAggMessage(arrived_, pendingTag_), pendingTag_);
+      ++arrived_;
+    } else {
+      stashMessage(nextMessage(arrived_, pendingTag_));
+    }
+  }
+
+  bool pollPending() {
+    if (drainOrder() == DrainOrder::kPeer) {
+      // kPeer is the deterministic-clock debug mode: consuming messages at
+      // wall-clock-dependent moments would reorder the virtual-clock max
+      // arithmetic, so the opportunistic drain is disabled and every
+      // receive happens in finish, in peer order.
+      return pendingDone();
+    }
+    const int prog = remoteProgram_ >= 0 ? remoteProgram_ : comm_->program();
+    while (!pendingDone()) {
+      std::optional<transport::Message> m =
+          comm_->tryRecvMsgAnyOf(prog, pendingTag_);
+      if (!m.has_value()) break;
+      if (agg_) {
+        stashAggMessage(std::move(*m), pendingTag_);
+        ++arrived_;
+      } else {
+        stashMessage(std::move(*m));
+      }
+    }
+    return pendingDone();
+  }
+
+  void finishPending(std::span<T> dst, bool add) {
+    // Drain whatever poll() did not get (blocking).  In kPeer mode nothing
+    // was stashed, so arrived_ walks the receive order exactly as the
+    // blocking drain would; in kArrival mode the index is ignored.
+    while (!pendingDone()) drainOnePending();
+    localPhase(pendingSrc_, dst, add);
+    // Unpack in plan order: copy unpacks commute (disjoint per-peer
+    // offsets), adds must apply in peer order — either way this is bitwise
+    // identical to the corresponding run()/runAdd().
+    unpackStash(dst, add);
     inFlight_ = false;
     pendingSrc_ = {};
   }
@@ -665,18 +919,21 @@ class Executor {
   /// Abandoned split-phase run (Pending destroyed without finish): consume
   /// the exchange's remaining messages so the mailbox and the executor's
   /// epoch state stay consistent, discard the data, keep the executor
-  /// reusable.  Errors are swallowed — this runs from a destructor, possibly
-  /// unwinding a world abort.
+  /// reusable.  In aggregated mode the drain still splits and forwards
+  /// frames — node-mates depend on the leader relaying their segments even
+  /// when the leader's own exchange is abandoned.  Errors are swallowed —
+  /// this runs from a destructor, possibly unwinding a world abort.
   void cancelPending() noexcept {
     try {
-      while (!pendingDone()) stashMessage(nextMessage(arrived_, pendingTag_));
+      while (!pendingDone()) drainOnePending();
     } catch (...) {
       // Aborted world or timeout: leave whatever arrived; the abort tears
       // the whole run down anyway.
     }
-    for (std::vector<std::byte>& buf : stash_) {
-      if (buf.capacity() > 0) recycle(std::move(buf));
-      buf = {};
+    for (std::size_t k = 0; k < stash_.size(); ++k) {
+      if (stash_[k].capacity() > 0) recycle(std::move(stash_[k]));
+      stash_[k] = {};
+      stashOff_[k] = 0;
     }
     inFlight_ = false;
     pendingSrc_ = {};
@@ -691,23 +948,15 @@ class Executor {
       transport::Message m = nextMessage(n, tag);
       stash_[slotFor(m)] = std::move(m.payload);
     }
-    for (std::size_t k = 0; k < sched_->recvs.size(); ++k) {
-      const OffsetPlan& plan = sched_->recvs[k];
-      // Same reinterpretation payloadView performs; the slot's size was
-      // verified when the message was stashed.
-      obs::ScopedSpan span(obs::phase::kUnpack);
-      comm_->compute([&] {
-        const T* payload = reinterpret_cast<const T*>(stash_[k].data());
-        if (kernelDispatchEnabled()) {
-          unpackAddKernel<T>(recvKernels_[k], plan, payload, dst);
-        } else {
-          unpackPlanAdd<T>(plan, payload, dst);
-        }
-      });
-      recycle(std::move(stash_[k]));
-      stash_[k] = {};
-    }
+    unpackStash(dst, /*add=*/true);
   }
+
+  /// One framed message to a remote node (aggregated mode).
+  struct AggGroup {
+    int leader = 0;               // destination node's leader (local rank)
+    std::size_t frameBytes = 0;   // header + segments, fixed at bind
+    std::vector<std::size_t> planIdx;  // send plans packed, in peer order
+  };
 
   transport::Comm* comm_;
   std::shared_ptr<const Schedule> keepAlive_;
@@ -722,7 +971,16 @@ class Executor {
   std::uint64_t runEpoch_ = 0;
   std::vector<std::vector<std::byte>> freeBufs_;  // recycled payloads
   std::vector<std::vector<std::byte>> stash_;     // runAdd deferral slots
+  std::vector<std::size_t> stashOff_;  // payload byte offset per stash slot
   std::vector<T> localStage_;  // persistent Parti local-copy staging
+
+  // Node aggregation (node_agg.h), captured at bind.
+  bool agg_ = false;
+  std::vector<std::size_t> directSendIdx_;  // send plans to same-node peers
+  std::vector<AggGroup> aggGroups_;         // one frame per remote node
+  std::vector<int> directRecvPeers_;  // same-node sources, in plan order
+  std::vector<int> frameSrcs_;  // leader: inbound frame sources (global, sorted)
+  std::size_t aggExpected_ = 0;  // messages consumed per aggregated run
 
   // Split-phase state (one run may be in flight at a time).
   bool inFlight_ = false;

@@ -88,6 +88,22 @@ struct TrafficStats {
   /// Pending::poll()) — i.e. drained *early*, while the caller was still
   /// computing, instead of in the blocking finish drain.
   std::uint64_t messagesDrainedEarly = 0;
+  /// Link-class breakdown of the sends: a message is inter_node when its
+  /// endpoints live on different physical nodes (inter-program messages
+  /// always do), intra_node otherwise (self-messages included).  The
+  /// inter_node count is what the paper's §5.4 NIC-contention curve rises
+  /// with, and what node-aggregated schedule execution bounds at
+  /// nodes-1 per rank per step.
+  std::uint64_t interNodeMessages = 0;
+  std::uint64_t interNodeBytes = 0;
+  std::uint64_t intraNodeMessages = 0;
+  std::uint64_t intraNodeBytes = 0;
+  /// Payloads this rank re-sent on behalf of a remote sender as a node
+  /// leader (sched::Executor node aggregation).  The sends themselves are
+  /// also counted in the intra_node line; this isolates the forwarding
+  /// volume.
+  std::uint64_t forwardedMessages = 0;
+  std::uint64_t forwardedBytes = 0;
 };
 
 /// Epoch snapshot/diff: counters are monotone, so the traffic of a code
@@ -104,6 +120,12 @@ inline TrafficStats operator-(const TrafficStats& a, const TrafficStats& b) {
   d.allocations = a.allocations - b.allocations;
   d.recvWaitSeconds = a.recvWaitSeconds - b.recvWaitSeconds;
   d.messagesDrainedEarly = a.messagesDrainedEarly - b.messagesDrainedEarly;
+  d.interNodeMessages = a.interNodeMessages - b.interNodeMessages;
+  d.interNodeBytes = a.interNodeBytes - b.interNodeBytes;
+  d.intraNodeMessages = a.intraNodeMessages - b.intraNodeMessages;
+  d.intraNodeBytes = a.intraNodeBytes - b.intraNodeBytes;
+  d.forwardedMessages = a.forwardedMessages - b.forwardedMessages;
+  d.forwardedBytes = a.forwardedBytes - b.forwardedBytes;
   return d;
 }
 
@@ -132,6 +154,34 @@ class Comm {
     return static_cast<int>(world_->programOf.size());
   }
   int globalRankOf(int prog, int localRank) const;
+  /// Program-local rank of a world (global) rank.
+  int localRankOfGlobal(int globalRank) const {
+    return world_->localRankOf.at(static_cast<size_t>(globalRank));
+  }
+
+  // --- topology (program scope) ---------------------------------------------
+  // Placement comes from the NetworkModel tables World::run built; ranks are
+  // program-local.  The *node leader* of a node is the lowest program rank
+  // placed there, so rank 0 is always a leader and the leader list is sorted.
+  /// Physical node id this rank lives on.
+  int myNode() const { return world_->net.nodeOf(globalRank_); }
+  /// Physical node id of a program-local rank.
+  int nodeOfRank(int localRank) const {
+    return world_->net.nodeOf(globalRankOf(program_, localRank));
+  }
+  /// Node leader (lowest rank) of `localRank`'s node.
+  int leaderOfRank(int localRank) const {
+    return leaderOf_[static_cast<size_t>(localRank)];
+  }
+  /// Node leader of this rank's node.
+  int nodeLeader() const { return leaderOf_[static_cast<size_t>(localRank_)]; }
+  bool isNodeLeader() const { return nodeLeader() == localRank_; }
+  /// All program ranks on this rank's node (sorted; includes this rank).
+  const std::vector<int>& nodePeers() const { return nodePeers_; }
+  /// One leader rank per distinct node of the program (sorted; front() == 0).
+  const std::vector<int>& nodeLeaders() const { return nodeLeaders_; }
+  /// Number of distinct physical nodes the program spans.
+  int programNodes() const { return static_cast<int>(nodeLeaders_.size()); }
 
   // --- virtual clock ------------------------------------------------------
   double now() const { return clock_; }
@@ -158,6 +208,14 @@ class Comm {
 
   const TrafficStats& stats() const { return stats_; }
   void resetStats() { stats_ = TrafficStats{}; }
+  /// Records that this rank re-sent `bytes` of payload on behalf of a remote
+  /// sender (node-leader forwarding in sched::Executor's aggregated mode).
+  /// The forwarding send itself goes through sendBytes and is counted there;
+  /// this tracks the forwarded volume for transport.forwarded.*.
+  void noteForwarded(std::size_t bytes) {
+    ++stats_.forwardedMessages;
+    stats_.forwardedBytes += bytes;
+  }
 
   // --- tag allocation -------------------------------------------------------
   /// Allocates a tag for an intra-program communication phase.  All
@@ -338,8 +396,13 @@ class Comm {
       std::span<const std::byte> mine);
 
   /// Personalized all-to-all: sendTo[r] goes to rank r; returns recvFrom[r].
+  /// Both loops walk peers in the pairwise rotation (me + i) % size(), so
+  /// under contention no single low rank's NIC serializes every sender.
   std::vector<std::vector<std::byte>> alltoallBytes(
       const std::vector<std::vector<std::byte>>& sendTo);
+  /// Rvalue variant: the self row is moved into the result, not deep-copied.
+  std::vector<std::vector<std::byte>> alltoallBytes(
+      std::vector<std::vector<std::byte>>&& sendTo);
 
   template <typename T>
   void bcast(std::vector<T>& data, int root) {
@@ -403,20 +466,65 @@ class Comm {
         std::memcpy(raw[r].data(), sendTo[r].data(), raw[r].size());
       }
     }
-    return typedBuffers<T>(alltoallBytes(raw));
+    return typedBuffers<T>(alltoallBytes(std::move(raw)));
   }
   /// Element-wise reduction with `op` at every rank (allreduce):
   /// binomial-tree reduce to rank 0 followed by a binomial broadcast, so
   /// the modeled message volume is O(p log p) rather than the O(p^2) a
   /// rank-0 fan-in allgather would cost.  `op` must be associative and
   /// commutative; reduction order is deterministic (fixed tree shape) but
-  /// not rank order.
+  /// not rank order.  Under hierarchical collectives the leaf values travel
+  /// members -> node leader -> rank 0 and rank 0 replays the *same* binomial
+  /// combination order locally, so the result stays bitwise identical.
   template <typename T, typename Op>
   T allreduceValue(T v, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
     const int tag = collectiveTag();
     const int me = rank();
     const int np = size();
+    if (hierarchicalOn()) {
+      struct Entry {
+        std::int32_t rank;
+        T value;
+      };
+      if (!isNodeLeader()) {
+        Entry e{};
+        e.rank = me;
+        e.value = v;
+        send(nodeLeader(), tag, std::span<const Entry>(&e, 1));
+      } else {
+        std::vector<Entry> batch;
+        batch.reserve(nodePeers_.size());
+        Entry mine{};
+        mine.rank = me;
+        mine.value = v;
+        batch.push_back(mine);
+        for (int r : nodePeers_) {
+          if (r == me) continue;
+          std::vector<Entry> got = recv<Entry>(r, tag);
+          MC_REQUIRE(got.size() == 1);
+          batch.push_back(got[0]);
+        }
+        if (me != 0) {
+          send(0, tag, batch);
+        } else {
+          // Rank 0 is always a node leader; collect every leaf value in
+          // rank order, then combine with the flat tree's association.
+          std::vector<T> values(static_cast<size_t>(np), v);
+          for (size_t l = 1; l < nodeLeaders_.size(); ++l) {
+            for (const Entry& e : recv<Entry>(nodeLeaders_[l], tag)) {
+              batch.push_back(e);
+            }
+          }
+          for (const Entry& e : batch) {
+            MC_REQUIRE(e.rank >= 0 && e.rank < np);
+            values[static_cast<size_t>(e.rank)] = e.value;
+          }
+          v = binomialCombine(values, op);
+        }
+      }
+      return bcastValue(v, 0);  // bcastValue rides the hierarchical bcast
+    }
     T acc = v;
     for (int mask = 1; mask < np; mask <<= 1) {
       if ((me & mask) != 0) {
@@ -435,6 +543,44 @@ class Comm {
   }
 
  private:
+  /// True when collectives should run the two-level (node-hierarchical)
+  /// algorithms: the flag is set and the program both spans more than one
+  /// node and packs more than one rank on some node (otherwise the flat
+  /// algorithms already match the topology).
+  bool hierarchicalOn() const {
+    return world_->net.config().hierarchicalCollectives &&
+           nodeLeaders_.size() > 1 &&
+           static_cast<int>(nodeLeaders_.size()) < size();
+  }
+  /// Index of `leaderRank` in nodeLeaders_ (must be a leader).
+  int leaderIndexOfRank(int leaderRank) const;
+  void hierarchicalBarrier();
+  void hierarchicalBcast(std::vector<std::byte>& buf, int root);
+  std::vector<std::byte> allgatherFlatHierarchical(
+      std::span<const std::byte> mine);
+  /// Shared alltoall body; `selfRow` non-null means the self row may be
+  /// moved from instead of copied.
+  std::vector<std::vector<std::byte>> alltoallImpl(
+      const std::vector<std::vector<std::byte>>& sendTo,
+      std::vector<std::byte>* selfRow);
+
+  /// Combines values[0..n) with exactly the association the flat binomial
+  /// reduce uses (rank r merges rank r+mask at each mask level), so a
+  /// root-side replay is bitwise identical to the distributed tree.
+  template <typename T, typename Op>
+  static T binomialCombine(std::vector<T> values, Op op) {
+    const int np = static_cast<int>(values.size());
+    MC_REQUIRE(np > 0);
+    for (int mask = 1; mask < np; mask <<= 1) {
+      for (int r = 0; r + mask < np; r += 2 * mask) {
+        values[static_cast<size_t>(r)] =
+            op(values[static_cast<size_t>(r)],
+               values[static_cast<size_t>(r + mask)]);
+      }
+    }
+    return values[0];
+  }
+
   template <typename T>
   std::vector<T> unpackVector(const Message& m) {
     MC_REQUIRE(m.payload.size() % sizeof(T) == 0,
@@ -509,6 +655,11 @@ class Comm {
   int userTagSeq_ = 0;
   std::vector<int> interTagSeq_;
   TrafficStats stats_;
+  // Topology tables (program scope), derived from the NetworkModel placement
+  // in the constructor.  See the topology accessor section.
+  std::vector<int> leaderOf_;     // local rank -> its node leader
+  std::vector<int> nodePeers_;    // local ranks on my node (sorted)
+  std::vector<int> nodeLeaders_;  // one leader per node (sorted)
 };
 
 }  // namespace mc::transport

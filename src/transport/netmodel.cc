@@ -47,14 +47,16 @@ double NetworkModel::senderOccupancy(int src, int dst,
                                      std::size_t bytes) const {
   if (!config_.contention || !crossNode(src, dst)) return 0.0;
   const NetParams& p = paramsFor(src, dst);
-  return static_cast<double>(bytes) * procsOnNodeOf(src) / p.bandwidth;
+  return (p.nicPerMessage + static_cast<double>(bytes) / p.bandwidth) *
+         procsOnNodeOf(src);
 }
 
 double NetworkModel::receiverOccupancy(int src, int dst,
                                        std::size_t bytes) const {
   if (!config_.contention || !crossNode(src, dst)) return 0.0;
   const NetParams& p = paramsFor(src, dst);
-  return static_cast<double>(bytes) * procsOnNodeOf(dst) / p.bandwidth;
+  return (p.nicPerMessage + static_cast<double>(bytes) / p.bandwidth) *
+         procsOnNodeOf(dst);
 }
 
 double NetworkModel::arrival(double sendTime, int src, int dst,

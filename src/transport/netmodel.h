@@ -36,6 +36,12 @@ struct NetParams {
   double bandwidth = 35e6;         ///< payload bandwidth (bytes/s)
   double sendOverhead = 30e-6;     ///< CPU time charged to sender per message
   double recvOverhead = 30e-6;     ///< CPU time charged to receiver per message
+  /// Per-message NIC processing time under contention (packetization,
+  /// interrupt handling — the ATM/UDP per-message cost the paper blames in
+  /// §5.4).  Charged, scaled by node sharing, as part of NIC occupancy on
+  /// both endpoints of an inter-node message; zero keeps the pre-existing
+  /// pure-byte occupancy model.
+  double nicPerMessage = 0.0;
 
   /// Pure transfer time for a payload of `bytes`.
   double transferTime(std::size_t bytes) const {
@@ -61,6 +67,12 @@ struct NetConfig {
   std::vector<int> nodesPerProgram;
   /// When true, inter-node transfers occupy both endpoint NICs (see above).
   bool contention = false;
+  /// When true, program-scoped collectives (barrier, bcast, allgather,
+  /// allreduce) run as two-level trees: intra-node gather to the node
+  /// leader over cheap intraNode links, an inter-leader exchange, and an
+  /// intra-node fan-out.  Data results are bitwise identical to the flat
+  /// algorithms (rank-ordered merges); only the modeled clocks change.
+  bool hierarchicalCollectives = false;
 };
 
 /// Computes message costs.  Stateless per message; thread safe.

@@ -1,0 +1,215 @@
+// Cold-vs-warm server start (the ROADMAP's persistent-arrays item made
+// measurable): the same one-client world runs twice against the same
+// snapshot directory.  The first run boots a cold server — the client's
+// attach pays the collective inspector build — and saves a snapshot on
+// shutdown; the second run warm-starts from it, so the first attach is a
+// layout-archive sharing hit: the client downloads the archived schedule
+// bytes, the server restores its receive halves and matrices, and NO
+// inspector build runs anywhere (asserted via build.count on both the
+// client and server threads).  The two runs' results must be bitwise
+// identical — the restored schedule is byte-for-byte the built one, so the
+// execution order (and therefore every floating-point sum) is reproduced
+// exactly.
+//
+// Emits BENCH_snapshot.json (mc-bench-v1): per case, the restore volume
+// (bytes / cache entries), the first-request virtual latency, the
+// warm-vs-cold first-request speedup, and the build counts.  Exits
+// non-zero if the warm run built anything or the results diverge — the
+// bench doubles as the kill-and-restart differential check in CI.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "server/client_session.h"
+#include "server/compute_server.h"
+#include "transport/world.h"
+
+using namespace mc;
+using layout::Index;
+using layout::Point;
+using transport::Comm;
+using transport::ProgramSpec;
+using transport::World;
+
+namespace {
+
+constexpr int kServerProcs = 3;
+
+double vectorEntry(Index i, int iter) {
+  return static_cast<double>((i * 7 + iter) % 11) - 5.0;
+}
+
+/// The calling thread's inspector-build count (0 when nothing was built on
+/// this thread — the counter registers lazily on the first build).
+double buildCount() {
+  const obs::Snapshot s = obs::threadRegistry().snapshot();
+  return s.has("build.count") ? s.get("build.count") : 0.0;
+}
+
+struct PhaseOutcome {
+  server::ServerStats stats;
+  double restoreBytes = 0;
+  double restoreEntries = 0;
+  double saveBytes = 0;
+  double serverBuilds = 0;      // rank 0's builds over the whole run
+  double clientAttachBuilds = 0;
+  double firstRequestSeconds = 0;  // attach + first request, virtual clock
+  bool sharedSchedule = false;
+  std::vector<double> results;  // every request's y, concatenated
+};
+
+PhaseOutcome runPhase(Index n, int requests, const std::string& dir) {
+  PhaseOutcome out;
+  std::vector<ProgramSpec> specs;
+  specs.push_back(ProgramSpec{"server", kServerProcs, [&](Comm& c) {
+    server::ServerConfig cfg;
+    cfg.n = n;
+    cfg.totalSessions = 1;
+    cfg.snapshotDir = dir;
+    server::ComputeServer srv(c, cfg);
+    const double before = buildCount();
+    srv.run();
+    if (c.rank() == 0) {
+      out.stats = srv.stats();
+      out.serverBuilds = buildCount() - before;
+      const obs::Snapshot s = obs::threadRegistry().snapshot();
+      out.restoreBytes =
+          s.has("snapshot.restore.bytes") ? s.get("snapshot.restore.bytes")
+                                          : 0.0;
+      out.restoreEntries = s.has("snapshot.restore.entries")
+                               ? s.get("snapshot.restore.entries")
+                               : 0.0;
+      out.saveBytes =
+          s.has("snapshot.save.bytes") ? s.get("snapshot.save.bytes") : 0.0;
+    }
+  }});
+  specs.push_back(ProgramSpec{"client", 1, [&](Comm& c) {
+    server::SessionConfig cfg;
+    cfg.n = n;
+    cfg.serverProgram = 0;
+    server::ClientSession session(c, cfg);
+    const double builds0 = buildCount();
+    const double t0 = c.now();
+    const server::AttachStats as = session.attach();
+    out.clientAttachBuilds = buildCount() - builds0;
+    out.sharedSchedule = as.sharedSchedule;
+    for (int it = 0; it < requests; ++it) {
+      session.x().fillByPoint(
+          [&](const Point& p) { return vectorEntry(p[0], it); });
+      session.request();
+      if (it == 0) out.firstRequestSeconds = c.now() - t0;
+      const std::vector<double> y = session.y().gatherGlobal();
+      out.results.insert(out.results.end(), y.begin(), y.end());
+    }
+    session.detach();
+  }});
+  World::run(specs);
+  return out;
+}
+
+obs::BenchReport::Case& addCase(obs::BenchReport& report,
+                                const std::string& name,
+                                const PhaseOutcome& o, double speedup) {
+  obs::BenchReport::Case& c = report.addCase(name);
+  c.metric("restore_bytes", o.restoreBytes);
+  c.metric("restore_entries", o.restoreEntries);
+  c.metric("save_bytes", o.saveBytes);
+  c.metric("first_request_seconds", o.firstRequestSeconds);
+  c.metric("first_request_speedup", speedup);
+  c.metric("builds_server", o.serverBuilds);
+  c.metric("builds_client_attach", o.clientAttachBuilds);
+  c.metric("sched_share.hits", static_cast<double>(o.stats.schedShareHits));
+  c.metric("sched_share.misses",
+           static_cast<double>(o.stats.schedShareMisses));
+  c.metric("matrix_ships", static_cast<double>(o.stats.matrixShips));
+  c.metric("shared_schedule", o.sharedSchedule ? 1.0 : 0.0);
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Index n = 192;
+  int requests = 3;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--n=", 0) == 0) {
+      n = std::atoi(arg.c_str() + 4);
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      requests = std::atoi(arg.c_str() + 11);
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  const std::string dir = "micro_snapshot.snapdir";
+  std::filesystem::remove_all(dir);
+
+  // Run 1: cold boot (no snapshot exists), saves on shutdown.
+  const PhaseOutcome cold = runPhase(n, requests, dir);
+  // Run 2: a fresh world — every thread-local cache starts empty, exactly
+  // like a restarted process — warm-started from run 1's snapshot.
+  const PhaseOutcome warm = runPhase(n, requests, dir);
+  std::filesystem::remove_all(dir);
+
+  const double speedup = warm.firstRequestSeconds > 0
+                             ? cold.firstRequestSeconds /
+                                   warm.firstRequestSeconds
+                             : 1.0;
+  const bool identical =
+      cold.results.size() == warm.results.size() &&
+      std::memcmp(cold.results.data(), warm.results.data(),
+                  cold.results.size() * sizeof(double)) == 0;
+  const double warmBuilds = warm.serverBuilds + warm.clientAttachBuilds;
+
+  obs::BenchReport report("snapshot");
+  report.config("n", static_cast<double>(n));
+  report.config("requests", requests);
+  report.config("server_procs", kServerProcs);
+  addCase(report, "cold", cold, 1.0);
+  obs::BenchReport::Case& w = addCase(report, "warm", warm, speedup);
+  w.metric("bitwise_identical", identical ? 1.0 : 0.0);
+  report.write("BENCH_snapshot.json");
+
+  std::printf("== snapshot warm-start: n=%lld, %d requests ==\n",
+              static_cast<long long>(n), requests);
+  std::printf("%6s %14s %15s %15s %12s %10s\n", "case", "restore[B]",
+              "restore[entry]", "first_req[ms]", "builds", "shared");
+  std::printf("%6s %14.0f %15.0f %15.3f %12.0f %10s\n", "cold",
+              cold.restoreBytes, cold.restoreEntries,
+              1e3 * cold.firstRequestSeconds,
+              cold.serverBuilds + cold.clientAttachBuilds,
+              cold.sharedSchedule ? "yes" : "no");
+  std::printf("%6s %14.0f %15.0f %15.3f %12.0f %10s\n", "warm",
+              warm.restoreBytes, warm.restoreEntries,
+              1e3 * warm.firstRequestSeconds, warmBuilds,
+              warm.sharedSchedule ? "yes" : "no");
+  std::printf("first-request speedup: %.2fx, bitwise identical: %s\n",
+              speedup, identical ? "yes" : "NO");
+  std::printf("wrote BENCH_snapshot.json\n");
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: warm-start results are not bitwise identical\n");
+    return 1;
+  }
+  if (warmBuilds != 0) {
+    std::fprintf(stderr,
+                 "FAIL: warm start ran %.0f inspector builds (expected 0)\n",
+                 warmBuilds);
+    return 1;
+  }
+  if (!warm.sharedSchedule || warm.stats.schedShareHits == 0) {
+    std::fprintf(stderr, "FAIL: warm first attach was not a sharing hit\n");
+    return 1;
+  }
+  return 0;
+}

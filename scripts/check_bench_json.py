@@ -58,6 +58,12 @@ REQUIRED_FINITE = {
     "data_move": ("link.inter_node.messages", "link.inter_node.bytes",
                   "link.intra_node.messages", "link.intra_node.bytes",
                   "link.forwarded.messages", "link.forwarded.bytes"),
+    # Warm-start evidence: a snapshot report that cannot say how much state
+    # was restored or how the first request compared cold-vs-warm cannot
+    # support a warm-start claim.  The cold case reports restore volume 0
+    # and speedup 1.0 — finite, never null.
+    "snapshot": ("restore_bytes", "restore_entries",
+                 "first_request_speedup"),
 }
 
 # benchmark name -> metrics each of its cases must report as non-empty

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <utility>
 
 #include "chaos/deref_cache.h"
+#include "util/blob_io.h"
 #include "util/hash.h"
 
 namespace mc::chaos {
@@ -321,6 +323,99 @@ std::uint64_t TranslationTable::localFingerprint() const {
     h.pod(e.offset);
   }
   return h.digest()[0];
+}
+
+std::vector<std::byte> TranslationTable::serialize() const {
+  // ElementLoc has tail padding; serialize the fields as separate lanes so
+  // the byte stream is canonical (no indeterminate padding on disk).
+  std::vector<std::byte> payload;
+  blob::putU64(payload, static_cast<std::uint64_t>(storage_));
+  blob::putU64(payload, static_cast<std::uint64_t>(globalSize_));
+  blob::putU64(payload, static_cast<std::uint64_t>(homeBlock_));
+  blob::putU64(payload, static_cast<std::uint64_t>(myRank_));
+  std::uint64_t cost = 0;
+  static_assert(sizeof(cost) == sizeof(modeledQueryCost_));
+  std::memcpy(&cost, &modeledQueryCost_, sizeof(cost));
+  blob::putU64(payload, cost);
+  blob::putPods(payload, localCounts_);
+  std::vector<Index> procs, offsets;
+  procs.reserve(entries_.size());
+  offsets.reserve(entries_.size());
+  for (const ElementLoc& e : entries_) {
+    procs.push_back(static_cast<Index>(e.proc));
+    offsets.push_back(e.offset);
+  }
+  blob::putPods(payload, procs);
+  blob::putPods(payload, offsets);
+  return blob::frame(blob::kTranslationTable, 1, payload);
+}
+
+TranslationTable TranslationTable::deserialize(
+    std::span<const std::byte> data) {
+  const blob::FrameView v = blob::unframe(data, blob::kTranslationTable);
+  MC_REQUIRE(v.kindVersion == 1, "unknown translation-table blob version %u",
+             v.kindVersion);
+  blob::ByteReader r(v.payload);
+  TranslationTable t;
+  const std::uint64_t storage = r.u64();
+  MC_REQUIRE(storage <= 1, "corrupt translation-table blob: bad storage tag");
+  t.storage_ = static_cast<Storage>(storage);
+  t.globalSize_ = static_cast<Index>(r.u64());
+  t.homeBlock_ = static_cast<Index>(r.u64());
+  t.myRank_ = static_cast<int>(r.u64());
+  const std::uint64_t cost = r.u64();
+  std::memcpy(&t.modeledQueryCost_, &cost, sizeof(cost));
+  t.localCounts_ = r.pods<Index>();
+  const std::vector<Index> procs = r.pods<Index>();
+  const std::vector<Index> offsets = r.pods<Index>();
+  r.requireEnd("translation-table blob");
+
+  MC_REQUIRE(t.globalSize_ > 0 && !t.localCounts_.empty(),
+             "corrupt translation-table blob: empty table");
+  const int np = static_cast<int>(t.localCounts_.size());
+  MC_REQUIRE(t.homeBlock_ == (t.globalSize_ + np - 1) / np,
+             "corrupt translation-table blob: home block does not match the "
+             "global size");
+  MC_REQUIRE(t.myRank_ >= 0 && t.myRank_ < np,
+             "corrupt translation-table blob: rank %d of %d", t.myRank_, np);
+  MC_REQUIRE(t.modeledQueryCost_ >= 0.0,
+             "corrupt translation-table blob: negative query cost");
+  Index countTotal = 0;
+  for (const Index c : t.localCounts_) {
+    MC_REQUIRE(c >= 0, "corrupt translation-table blob: negative count");
+    countTotal += c;
+  }
+  MC_REQUIRE(countTotal == t.globalSize_,
+             "corrupt translation-table blob: counts cover %lld of %lld "
+             "elements",
+             static_cast<long long>(countTotal),
+             static_cast<long long>(t.globalSize_));
+  MC_REQUIRE(procs.size() == offsets.size(),
+             "corrupt translation-table blob: mismatched entry lanes");
+  const Index sliceLo = t.homeBlock_ * t.myRank_;
+  const Index expect =
+      t.storage_ == Storage::kReplicated
+          ? t.globalSize_
+          : std::max<Index>(
+                0, std::min(t.globalSize_, sliceLo + t.homeBlock_) - sliceLo);
+  MC_REQUIRE(static_cast<Index>(procs.size()) == expect,
+             "corrupt translation-table blob: %zu entries, expected %lld",
+             procs.size(), static_cast<long long>(expect));
+  t.entries_.reserve(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    MC_REQUIRE(procs[i] >= 0 && procs[i] < np,
+               "corrupt translation-table blob: entry owner %lld out of "
+               "range",
+               static_cast<long long>(procs[i]));
+    MC_REQUIRE(offsets[i] >= 0 &&
+                   offsets[i] < t.localCounts_[static_cast<size_t>(procs[i])],
+               "corrupt translation-table blob: entry offset out of range");
+    t.entries_.push_back(
+        ElementLoc{static_cast<int>(procs[i]), offsets[i]});
+  }
+  // Uid remint rule (see header): never reuse the saved identity.
+  t.uid_ = nextTableUid();
+  return t;
 }
 
 }  // namespace mc::chaos

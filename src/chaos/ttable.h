@@ -107,6 +107,19 @@ class TranslationTable {
   /// table at a recycled address cannot alias a stale entry).
   std::uint64_t uid() const { return uid_; }
 
+  /// Serializes the locally held table state (storage policy, extents, this
+  /// processor's entry shard) to a framed blob (util/blob_io.h).  The uid is
+  /// deliberately NOT serialized — see deserialize().
+  std::vector<std::byte> serialize() const;
+
+  /// Inverse of serialize(); validates the frame and every internal count.
+  /// Uid remint rule: the restored table mints a FRESH process-unique uid
+  /// rather than reusing the saved one, so the per-rank DerefCache — which
+  /// keys entries on table uids — can never serve a stale pre-restore (or
+  /// other-process) entry against a restored table.  The saved uid would be
+  /// meaningless in this process anyway; reminting makes that explicit.
+  static TranslationTable deserialize(std::span<const std::byte> blob);
+
   /// Communication-free digest of the locally held table state: the storage
   /// policy, the global extent, and this processor's entry shard.  For a
   /// distributed table no single processor can fingerprint the whole

@@ -25,6 +25,8 @@
 // way the MC_* API keeps per-rank handle tables.
 #pragma once
 
+#include <utility>
+
 #include "core/schedule_builder.h"
 #include "sched/schedule_cache.h"
 
@@ -87,6 +89,20 @@ class ScheduleCache {
       const DistObject& oldDstObj, const DistObject& newDstObj,
       const SetOfRegions& dstSet, const layout::DistDelta& delta,
       Method method = Method::kCooperation);
+
+  /// Snapshot hooks (snapshot/snapshot.cc): dump every entry oldest-first
+  /// (so a restore that insertEntry()s sequentially reproduces the LRU
+  /// order), and insert a restored entry under its saved content key.
+  /// Restored insertions count as insertions, not hits — the hit counters
+  /// keep meaning "a build was avoided *during this run*".
+  template <typename F>
+  void forEachEntryOldestFirst(F&& fn) const {
+    cache_.forEachOldestFirst(std::forward<F>(fn));
+  }
+  void insertEntry(const HashStream::Digest& key,
+                   std::shared_ptr<const McSchedule> value) {
+    cache_.insert(key, std::move(value));
+  }
 
   const CacheStats& stats() const { return cache_.stats(); }
   /// Repartitionings served by patchSchedule vs. by a full rebuild.

@@ -135,6 +135,17 @@ class KeyedCache {
     lru_.clear();
   }
 
+  /// Visits every entry from least to most recently used:
+  /// fn(key, shared_ptr<const V>).  Snapshot writers dump the cache in this
+  /// order so a restore that insert()s sequentially reproduces the LRU
+  /// order exactly (and, over capacity, evicts the oldest entries first).
+  template <typename F>
+  void forEachOldestFirst(F&& fn) const {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      fn(it->key, it->value);
+    }
+  }
+
  private:
   struct Entry {
     Key key;

@@ -23,79 +23,27 @@
 #include <vector>
 
 #include "sched/schedule.h"
+#include "util/blob_io.h"
 #include "util/error.h"
 
 namespace mc::sched {
 
-namespace detail {
+/// Kind version of the schedule payload inside the blob::frame container
+/// (v1 was the pre-container raw format; v2 moved the version/arch/checksum
+/// tagging into the shared frame header).
+inline constexpr std::uint32_t kScheduleBlobVersion = 2;
 
-inline void putU64(std::vector<std::byte>& out, std::uint64_t v) {
-  const std::size_t pos = out.size();
-  out.resize(pos + sizeof(v));
-  std::memcpy(out.data() + pos, &v, sizeof(v));
-}
-
-template <typename T>
-void putPods(std::vector<std::byte>& out, const std::vector<T>& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  putU64(out, v.size());
-  const std::size_t pos = out.size();
-  out.resize(pos + v.size() * sizeof(T));
-  if (!v.empty()) std::memcpy(out.data() + pos, v.data(), v.size() * sizeof(T));
-}
-
-class ByteReader {
- public:
-  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
-
-  std::uint64_t u64() {
-    MC_REQUIRE(pos_ + sizeof(std::uint64_t) <= data_.size(),
-               "truncated schedule blob");
-    std::uint64_t v = 0;
-    std::memcpy(&v, data_.data() + pos_, sizeof(v));
-    pos_ += sizeof(v);
-    return v;
-  }
-
-  template <typename T>
-  std::vector<T> pods() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const std::uint64_t n = u64();
-    MC_REQUIRE(n <= (data_.size() - pos_) / sizeof(T),
-               "truncated schedule blob");
-    std::vector<T> v(static_cast<std::size_t>(n));
-    if (n > 0) {
-      std::memcpy(v.data(), data_.data() + pos_,
-                  static_cast<std::size_t>(n) * sizeof(T));
-      pos_ += static_cast<std::size_t>(n) * sizeof(T);
-    }
-    return v;
-  }
-
-  bool atEnd() const { return pos_ == data_.size(); }
-
- private:
-  std::span<const std::byte> data_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace detail
-
-inline constexpr std::uint64_t kScheduleBlobVersion = 1;
-
-/// Serializes a schedule to a flat byte blob (version-tagged; POD runs and
-/// offsets are copied raw).  Round-trips exactly through
-/// deserializeSchedule.
-inline std::vector<std::byte> serializeSchedule(const Schedule& s) {
-  std::vector<std::byte> out;
-  detail::putU64(out, kScheduleBlobVersion);
-  detail::putU64(out, s.bufferLocalCopies ? 1 : 0);
+/// Serializes a schedule payload (no frame) into `out`.  Exposed for the
+/// snapshot writers, which embed schedules in larger payloads.
+inline void writeSchedulePayload(std::vector<std::byte>& out,
+                                 const Schedule& s) {
+  blob::putU64(out, s.bufferLocalCopies ? 1 : 0);
   for (const std::vector<OffsetPlan>* lane : {&s.sends, &s.recvs}) {
-    detail::putU64(out, lane->size());
+    blob::putU64(out, lane->size());
     for (const OffsetPlan& p : *lane) {
-      detail::putU64(out, static_cast<std::uint64_t>(p.peer));
-      detail::putPods(out, p.offsets);
-      detail::putPods(out, p.runs);
+      blob::putU64(out, static_cast<std::uint64_t>(p.peer));
+      blob::putPods(out, p.offsets);
+      blob::putPods(out, p.runs);
     }
   }
   // std::pair is not trivially copyable; flatten to (from, to) index pairs.
@@ -105,20 +53,21 @@ inline std::vector<std::byte> serializeSchedule(const Schedule& s) {
     flatPairs.push_back(from);
     flatPairs.push_back(to);
   }
-  detail::putPods(out, flatPairs);
-  detail::putPods(out, s.localRuns);
-  return out;
+  blob::putPods(out, flatPairs);
+  blob::putPods(out, s.localRuns);
 }
 
-/// Inverse of serializeSchedule; validates sizes and the version tag.
-inline Schedule deserializeSchedule(std::span<const std::byte> blob) {
-  detail::ByteReader r(blob);
-  MC_REQUIRE(r.u64() == kScheduleBlobVersion,
-             "unknown schedule blob version");
+/// Reads a schedule payload from `r` (counterpart of writeSchedulePayload).
+/// Every count is validated against the remaining bytes before it sizes an
+/// allocation, so corrupt or truncated payloads throw instead of
+/// over-allocating.
+inline Schedule readSchedulePayload(blob::ByteReader& r) {
   Schedule s;
   s.bufferLocalCopies = r.u64() != 0;
   for (std::vector<OffsetPlan>* lane : {&s.sends, &s.recvs}) {
-    const std::uint64_t n = r.u64();
+    // A serialized plan is at least 24 bytes (peer + two lane counts);
+    // clamping here keeps a corrupt plan count from reserving gigabytes.
+    const std::uint64_t n = r.count(3 * sizeof(std::uint64_t));
     lane->reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i) {
       OffsetPlan p;
@@ -135,7 +84,29 @@ inline Schedule deserializeSchedule(std::span<const std::byte> blob) {
     s.localPairs.emplace_back(flatPairs[i], flatPairs[i + 1]);
   }
   s.localRuns = r.pods<LocalRun>();
-  MC_REQUIRE(r.atEnd(), "trailing bytes in schedule blob");
+  return s;
+}
+
+/// Serializes a schedule to a framed byte blob (magic, versions, endian and
+/// type-width tags, checksum — util/blob_io.h), safe to persist as well as
+/// to ship between programs.  Round-trips exactly through
+/// deserializeSchedule.
+inline std::vector<std::byte> serializeSchedule(const Schedule& s) {
+  std::vector<std::byte> payload;
+  writeSchedulePayload(payload, s);
+  return blob::frame(blob::kSchedule, kScheduleBlobVersion, payload);
+}
+
+/// Inverse of serializeSchedule; validates the frame (magic, endianness,
+/// type widths, length, checksum), the kind version, and every internal
+/// count.  Throws mc::Error on any mismatch — never misreads.
+inline Schedule deserializeSchedule(std::span<const std::byte> blob) {
+  const blob::FrameView v = blob::unframe(blob, blob::kSchedule);
+  MC_REQUIRE(v.kindVersion == kScheduleBlobVersion,
+             "unknown schedule blob version %u", v.kindVersion);
+  blob::ByteReader r(v.payload);
+  Schedule s = readSchedulePayload(r);
+  r.requireEnd("schedule blob");
   return s;
 }
 

@@ -16,6 +16,10 @@
 #include "obs/metrics.h"
 #include "sched/serialize.h"
 #include "server/protocol.h"
+#include "snapshot/array_io.h"
+#include "snapshot/mc_schedule_io.h"
+#include "snapshot/snapshot.h"
+#include "util/blob_io.h"
 
 namespace mc::server {
 
@@ -473,6 +477,149 @@ struct ComputeServer::Impl {
       dispatch(cmd);
     }
   }
+
+  // --- warm-start archive (snapshot section "server.archive") --------------
+  //
+  // What a restart must keep to make the first same-layout attach a sharing
+  // hit with zero inspector builds: the per-rank layout entries (receive
+  // halves; the reversed result plans are recomputed), the shipped
+  // matrices (else needMatrix forces a collective matrix build), and rank
+  // 0's control-plane state — the layout-fingerprint slot map, the
+  // archived client send blobs, the sharing degrees, and the session-id
+  // counter.  Live sessions and queued requests are deliberately NOT
+  // persisted: a restart drops its tenants, warm-start only keeps what
+  // they paid to build.
+
+  std::vector<std::byte> saveArchive() const {
+    std::vector<std::byte> out;
+    blob::putU64(out, static_cast<std::uint64_t>(cfg.n));
+    blob::putU64(out, layouts.size());
+    for (const LayoutEntry& e : layouts) {
+      blob::putBytes(out, snapshot::serializeMcSchedule(*e.xRecv));
+    }
+    blob::putU64(out, matrices.size());
+    for (const auto& [id, A] : matrices) {
+      blob::putU64(out,
+                   static_cast<std::uint64_t>(static_cast<std::int64_t>(id)));
+      blob::putBytes(out, snapshot::serializeArray(*A));
+    }
+    blob::putU64(out, c.rank() == 0 ? 1 : 0);
+    if (c.rank() == 0) {
+      blob::putU64(out, static_cast<std::uint64_t>(nextSession));
+      blob::putU64(out, slotOf.size());
+      for (const auto& [key, slot] : slotOf) {
+        blob::putU64(out, std::get<0>(key));
+        blob::putU64(out, std::get<1>(key));
+        blob::putU64(out, static_cast<std::uint64_t>(std::get<2>(key)));
+        blob::putU64(out, static_cast<std::uint64_t>(std::get<3>(key)));
+        blob::putU64(out, static_cast<std::uint64_t>(slot));
+      }
+      blob::putU64(out, blobs.size());
+      for (const auto& perRank : blobs) {
+        blob::putU64(out, perRank.size());
+        for (const auto& b : perRank) blob::putBytes(out, b);
+      }
+      std::vector<std::uint64_t> degrees(sharingDegree.begin(),
+                                         sharingDegree.end());
+      blob::putPods(out, degrees);
+    }
+    return out;
+  }
+
+  void restoreArchive(std::span<const std::byte> bytes) {
+    MC_REQUIRE(layouts.empty() && matrices.empty() && sessions.empty(),
+               "warm-start restore must run before any session attaches");
+    blob::ByteReader r(bytes);
+    const std::uint64_t n = r.u64();
+    MC_REQUIRE(n == static_cast<std::uint64_t>(cfg.n),
+               "snapshot server n=%llu does not match configured n=%lld",
+               static_cast<unsigned long long>(n),
+               static_cast<long long>(cfg.n));
+    const std::uint64_t numLayouts = r.count(sizeof(std::uint64_t));
+    layouts.reserve(static_cast<std::size_t>(numLayouts));
+    for (std::uint64_t i = 0; i < numLayouts; ++i) {
+      LayoutEntry e;
+      auto xRecv = std::make_shared<const core::McSchedule>(
+          snapshot::deserializeMcSchedule(r.bytes()));
+      e.xRecv = xRecv;
+      e.xPlan =
+          std::shared_ptr<const sched::Schedule>(xRecv, &xRecv->plan);
+      e.yPlan =
+          std::make_shared<const sched::Schedule>(sched::reverse(xRecv->plan));
+      layouts.push_back(std::move(e));
+    }
+    const std::uint64_t numMatrices = r.count(2 * sizeof(std::uint64_t));
+    for (std::uint64_t i = 0; i < numMatrices; ++i) {
+      const int id =
+          static_cast<int>(static_cast<std::int64_t>(r.u64()));
+      matrices[id] = std::make_unique<hpfrt::HpfArray<double>>(
+          snapshot::deserializeHpfArray<double>(c, r.bytes()));
+    }
+    const bool root = r.u64() != 0;
+    MC_REQUIRE(root == (c.rank() == 0),
+               "snapshot control-plane state is on the wrong rank");
+    if (root) {
+      nextSession = static_cast<long long>(r.u64());
+      MC_REQUIRE(nextSession >= 0, "corrupt server archive: session counter");
+      const std::uint64_t numSlots = r.count(5 * sizeof(std::uint64_t));
+      MC_REQUIRE(numSlots == numLayouts,
+                 "server archive slot map covers %llu of %llu layouts",
+                 static_cast<unsigned long long>(numSlots),
+                 static_cast<unsigned long long>(numLayouts));
+      for (std::uint64_t i = 0; i < numSlots; ++i) {
+        const std::uint64_t d0 = r.u64();
+        const std::uint64_t d1 = r.u64();
+        const std::uint64_t procs = r.u64();
+        const int method = static_cast<int>(r.u64());
+        const std::uint64_t slot = r.u64();
+        MC_REQUIRE(slot < numLayouts,
+                   "server archive references layout slot %llu of %llu",
+                   static_cast<unsigned long long>(slot),
+                   static_cast<unsigned long long>(numLayouts));
+        const bool fresh =
+            slotOf
+                .emplace(std::make_tuple(d0, d1, static_cast<int>(procs),
+                                         method),
+                         static_cast<int>(slot))
+                .second;
+        MC_REQUIRE(fresh, "server archive has a duplicate layout key");
+      }
+      const std::uint64_t numBlobSlots = r.count(sizeof(std::uint64_t));
+      MC_REQUIRE(numBlobSlots == numLayouts,
+                 "server archive blobs cover %llu of %llu layouts",
+                 static_cast<unsigned long long>(numBlobSlots),
+                 static_cast<unsigned long long>(numLayouts));
+      for (std::uint64_t i = 0; i < numBlobSlots; ++i) {
+        const std::uint64_t ranks = r.count(sizeof(std::uint64_t));
+        std::vector<std::vector<std::byte>> perRank;
+        perRank.reserve(static_cast<std::size_t>(ranks));
+        for (std::uint64_t j = 0; j < ranks; ++j) {
+          const std::span<const std::byte> b = r.bytes();
+          perRank.emplace_back(b.begin(), b.end());
+        }
+        blobs.push_back(std::move(perRank));
+      }
+      const std::vector<std::uint64_t> degrees = r.pods<std::uint64_t>();
+      MC_REQUIRE(degrees.size() == numLayouts,
+                 "server archive sharing degrees cover %zu of %llu layouts",
+                 degrees.size(),
+                 static_cast<unsigned long long>(numLayouts));
+      sharingDegree.assign(degrees.begin(), degrees.end());
+    }
+    r.requireEnd("server archive");
+    // Layout-count agreement: every rank must have restored the same
+    // number of layout entries, or a later broadcast attach command would
+    // index out of range on some rank.
+    const auto count = static_cast<std::uint64_t>(layouts.size());
+    const std::uint64_t minC = c.allreduceValue(
+        count,
+        [](std::uint64_t a, std::uint64_t b) { return a < b ? a : b; });
+    const std::uint64_t maxC = c.allreduceValue(
+        count,
+        [](std::uint64_t a, std::uint64_t b) { return a > b ? a : b; });
+    MC_REQUIRE(minC == maxC,
+               "restored layout counts disagree across server ranks");
+  }
 };
 
 ComputeServer::ComputeServer(transport::Comm& comm, ServerConfig config)
@@ -483,6 +630,20 @@ ComputeServer::~ComputeServer() = default;
 void ComputeServer::run() {
   Impl& im = *impl_;
   const bool root = im.c.rank() == 0;
+  const bool persist = !im.cfg.snapshotDir.empty();
+  if (persist) {
+    // Collective: register the archive section, then restore if a complete
+    // snapshot is present (first boot starts cold, later boots warm).
+    snapshot::threadSections().add(
+        "server.archive",
+        [this](transport::Comm&) { return impl_->saveArchive(); },
+        [this](transport::Comm&, std::span<const std::byte> bytes) {
+          impl_->restoreArchive(bytes);
+        });
+    if (snapshotAvailable(im.c, im.cfg.snapshotDir)) {
+      snapshotRestore(im.c, im.cfg.snapshotDir);
+    }
+  }
   if (root) {
     // Control-plane visibility on the rank's metrics registry, sampled by
     // obs snapshots taken on this thread during the run.
@@ -510,6 +671,11 @@ void ComputeServer::run() {
     reg.unregisterPrefix("server.");
   } else {
     im.runWorker();
+  }
+  if (persist) {
+    // Collective: all ranks reach this after the shutdown broadcast.
+    snapshotSave(im.c, im.cfg.snapshotDir);
+    snapshot::threadSections().remove("server.archive");
   }
 }
 

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/schedule_builder.h"
 #include "transport/comm.h"
@@ -40,6 +41,12 @@ struct ServerConfig {
   int maxBatch = 8;        // coalescing limit (<= kMaxBatch)
   core::Method method = core::Method::kCooperation;
   double flopsPerSecond = 4e6;  // era-calibrated arithmetic rate
+  /// Warm-start directory (empty = disabled).  run() restores the schedule
+  /// cache, the layout-fingerprint archive, and the shipped matrices from
+  /// it on entry (when a complete snapshot is present) and saves them back
+  /// on exit, so the first same-layout attach after a restart is a sharing
+  /// hit with zero inspector builds on either side.
+  std::string snapshotDir;
 };
 
 /// Control-plane accounting, meaningful on server rank 0 after run().

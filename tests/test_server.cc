@@ -88,7 +88,7 @@ TEST(ScheduleBlob, TruncatedOrCorruptBlobRejected) {
         << "kept " << keep << " bytes";
   }
   std::vector<std::byte> bad = blob;
-  bad[0] = std::byte{0xff};  // version tag
+  bad[0] = std::byte{0xff};  // first magic byte of the container header
   EXPECT_THROW(sched::deserializeSchedule(bad), Error);
 }
 
